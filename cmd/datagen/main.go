@@ -1,0 +1,83 @@
+// Command datagen emits synthetic workloads for the distance algorithms:
+// random or planted-distance permutation pairs (Ulam) and random, DNA-like,
+// or planted-edit string pairs (edit distance). Pairs are written to two
+// files or to stdout separated by a blank line.
+//
+// Usage:
+//
+//	datagen -kind dna -n 100000 -d 500 -out1 a.txt -out2 b.txt
+//	datagen -kind perm -n 10000 -d 100
+//	datagen -kind string -n 5000 -sigma 4 -d 50
+//	datagen -kind periodic -n 4096 -period 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"mpcdist/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "string", "workload: string | dna | perm | periodic")
+	n := flag.Int("n", 1000, "input length")
+	d := flag.Int("d", 10, "planted distance budget")
+	sigma := flag.Int("sigma", 4, "alphabet size (string workloads)")
+	period := flag.Int("period", 7, "period (periodic workload)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out1 := flag.String("out1", "", "file for the first string (default stdout)")
+	out2 := flag.String("out2", "", "file for the second string (default stdout)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var a, b string
+	switch *kind {
+	case "string":
+		s := workload.RandomString(rng, *n, *sigma)
+		a, b = string(s), string(workload.PlantedEdits(rng, s, *d, *sigma))
+	case "dna":
+		s := workload.DNA(rng, *n)
+		a, b = string(s), string(workload.PlantedDNA(rng, s, *d))
+	case "perm":
+		s, sbar, planted := workload.PlantedUlam(rng, *n, *d)
+		a, b = joinInts(s), joinInts(sbar)
+		fmt.Fprintf(os.Stderr, "planted cost: %d\n", planted)
+	case "periodic":
+		s := workload.Periodic(*n, *period, *sigma)
+		a, b = string(s), string(workload.Shift(s, *d))
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := emit(a, *out1); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *out1 == "" && *out2 == "" {
+		fmt.Println()
+	}
+	if err := emit(b, *out2); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func joinInts(s []int) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func emit(s, file string) error {
+	if file == "" {
+		fmt.Println(s)
+		return nil
+	}
+	return os.WriteFile(file, []byte(s+"\n"), 0o644)
+}

@@ -1,0 +1,160 @@
+// Command mpcdist computes edit and Ulam distances with any of the
+// repository's algorithms, printing the value and (for MPC algorithms) the
+// measured model quantities.
+//
+// Usage:
+//
+//	mpcdist -algo exact -a kitten -b sitting
+//	mpcdist -algo mpc -afile genome1.txt -bfile genome2.txt -x 0.25 -eps 0.5
+//	mpcdist -algo ulam-mpc -a "3 1 4 5 2" -b "1 4 3 5 2" -x 0.3
+//
+// Algorithms: exact, myers, bounded, approx, script, mpc (Theorem 9),
+// hss ([20] baseline), ulam (exact), ulam-mpc (Theorem 4), lulam.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpcdist/internal/approx"
+	"mpcdist/internal/baseline"
+	"mpcdist/internal/core"
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/stats"
+	"mpcdist/internal/ulam"
+)
+
+func main() {
+	algo := flag.String("algo", "exact", "algorithm: exact|myers|bounded|diagonal|approx|script|mpc|hss|ulam|ulam-mpc|lulam")
+	aStr := flag.String("a", "", "first input (string, or space/comma-separated ints for ulam)")
+	bStr := flag.String("b", "", "second input")
+	aFile := flag.String("afile", "", "read first input from file")
+	bFile := flag.String("bfile", "", "read second input from file")
+	x := flag.Float64("x", 0.25, "MPC memory exponent")
+	eps := flag.Float64("eps", 0.5, "approximation slack")
+	seed := flag.Int64("seed", 1, "random seed")
+	bound := flag.Int("bound", 100, "distance cap for -algo bounded")
+	verbose := flag.Bool("v", false, "print per-round statistics")
+	verify := flag.Bool("verify", false, "also compute the exact distance and report the factor")
+	flag.Parse()
+
+	a := input(*aStr, *aFile)
+	b := input(*bStr, *bFile)
+	var ops stats.Ops
+	p := core.Params{X: *x, Eps: *eps, Seed: *seed}
+
+	switch *algo {
+	case "exact":
+		fmt.Println(editdist.Bytes(a, b, &ops))
+		fmt.Fprintf(os.Stderr, "ops=%d\n", ops.Count())
+	case "myers":
+		fmt.Println(editdist.Myers(a, b, &ops))
+		fmt.Fprintf(os.Stderr, "word-ops=%d\n", ops.Count())
+	case "bounded":
+		fmt.Println(editdist.BoundedDistance(a, b, *bound, &ops))
+	case "diagonal":
+		fmt.Println(editdist.DiagonalTransition(a, b, &ops))
+		fmt.Fprintf(os.Stderr, "ops=%d\n", ops.Count())
+	case "approx":
+		fmt.Println(approx.Ed(a, b, approx.Params{Eps: *eps, Seed: *seed}, &ops))
+		fmt.Fprintf(os.Stderr, "ops=%d factor<=%.2f\n", ops.Count(), approx.Factor(approx.Params{Eps: *eps}))
+	case "script":
+		script := editdist.Script(a, b)
+		for _, op := range script {
+			if op.Kind == editdist.Match {
+				continue
+			}
+			fmt.Printf("%s a[%d] b[%d]\n", op.Kind, op.APos, op.BPos)
+		}
+		fmt.Print(editdist.FormatAlignment(a, b, script, 72))
+	case "mpc":
+		res, err := core.EditMPC(a, b, p)
+		report(res, err, *verbose)
+		if *verify {
+			verifyEdit(a, b, res.Value)
+		}
+	case "hss":
+		res, err := baseline.HSSEditMPC(a, b, p)
+		report(res, err, *verbose)
+		if *verify {
+			verifyEdit(a, b, res.Value)
+		}
+	case "ulam":
+		fmt.Println(ulam.Exact(parseInts(a), parseInts(b), &ops))
+	case "ulam-mpc":
+		ia, ib := parseInts(a), parseInts(b)
+		res, err := core.UlamMPC(ia, ib, p)
+		report(res, err, *verbose)
+		if *verify {
+			exact := ulam.Exact(ia, ib, nil)
+			fmt.Fprintf(os.Stderr, "exact=%d factor=%.4f\n", exact, factorOf(res.Value, exact))
+		}
+	case "lulam":
+		d, win := ulam.Local(parseInts(a), parseInts(b), &ops)
+		fmt.Printf("%d window=[%d,%d]\n", d, win.Gamma, win.Kappa)
+	default:
+		fmt.Fprintf(os.Stderr, "mpcdist: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+}
+
+func input(s, file string) []byte {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcdist:", err)
+			os.Exit(1)
+		}
+		return []byte(strings.TrimRight(string(data), "\n"))
+	}
+	return []byte(s)
+}
+
+func parseInts(b []byte) []int {
+	fields := strings.FieldsFunc(string(b), func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t' || r == '\n'
+	})
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcdist: bad integer %q\n", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func verifyEdit(a, b []byte, value int) {
+	exact := editdist.Myers(a, b, nil)
+	fmt.Fprintf(os.Stderr, "exact=%d factor=%.4f\n", exact, factorOf(value, exact))
+}
+
+func factorOf(value, exact int) float64 {
+	if exact == 0 {
+		if value == 0 {
+			return 1
+		}
+		return float64(value)
+	}
+	return float64(value) / float64(exact)
+}
+
+func report(res core.Result, err error, verbose bool) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcdist:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Value)
+	fmt.Fprintf(os.Stderr, "regime=%s guess=%d %s\n", res.Regime, res.Guess, res.Report)
+	if verbose {
+		for _, r := range res.Report.Rounds {
+			fmt.Fprintf(os.Stderr, "  round %-20s machines=%-6d maxIn=%-8d maxOut=%-8d ops=%-10d crit=%d\n",
+				r.Name, r.Machines, r.MaxInWords, r.MaxOutWords, r.TotalOps, r.MaxMachineOps)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command mpctable regenerates the paper's Table 1 as measured rows on the
+// simulated MPC cluster, and fits the scaling exponents behind the
+// machine-count and total-work claims.
+//
+// Usage:
+//
+//	mpctable -table ulam              # Theorem 4 rows across n, x
+//	mpctable -table edit              # Theorem 9 vs HSS [20] rows
+//	mpctable -sweep machines          # machine-count exponent fit
+//	mpctable -sweep ulam              # Ulam total-work/machines fit
+//
+// All quantities are model measurements (machines, rounds, words, DP
+// operations), not wall-clock times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mpcdist/internal/core"
+	"mpcdist/internal/harness"
+	"mpcdist/internal/stats"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: ulam | edit")
+	sweep := flag.String("sweep", "", "sweep to run: machines | ulam | x")
+	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
+	seed := flag.Int64("seed", 1, "random seed")
+	small := flag.Bool("small", false, "use smaller sizes (faster)")
+	flag.Parse()
+
+	switch {
+	case *table == "ulam":
+		runUlamTable(*eps, *seed, *small)
+	case *table == "edit":
+		runEditTable(*eps, *seed, *small)
+	case *sweep == "machines":
+		runMachineSweep(*eps, *seed, *small)
+	case *sweep == "ulam":
+		runUlamSweep(*eps, *seed, *small)
+	case *sweep == "x":
+		runXSweep(*eps, *seed, *small)
+	default:
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\nPick one of -table ulam|edit or -sweep machines|ulam.")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpctable:", err)
+	os.Exit(1)
+}
+
+func runUlamTable(eps float64, seed int64, small bool) {
+	fmt.Println("Table 1, row 'Ulam Distance (Theorem 4)': 1+eps, 2 rounds, Õ(n^x) machines, Õ(n^{1-x}) words each")
+	fmt.Println()
+	sizes := []int{512, 1024, 2048}
+	if small {
+		sizes = []int{256, 512}
+	}
+	tb := stats.NewTable(harness.Columns()...)
+	for _, n := range sizes {
+		for _, x := range []float64{0.2, 0.3, 0.4} {
+			row, err := harness.UlamRow(n, n/10, core.Params{X: x, Eps: eps, Seed: seed}, true)
+			if err != nil {
+				fail(err)
+			}
+			tb.Add(row.Cells()...)
+		}
+	}
+	fmt.Print(tb)
+	fmt.Println("\nExpected shape: rounds = 2 always, factor <= 1+eps, machines ~ n^x.")
+}
+
+func runEditTable(eps float64, seed int64, small bool) {
+	fmt.Println("Table 1, rows 'Edit Distance': Theorem 9 (ours) vs Hajiaghayi et al. [20]")
+	fmt.Println("(The [11] row — 1+eps, O(log n) rounds, Õ(n^{8/9}) machines/memory — is dominated")
+	fmt.Println(" by [20] on every axis measured here and is reported analytically only; DESIGN.md #5.)")
+	fmt.Println()
+	sizes := []int{600, 1200, 2400}
+	if small {
+		sizes = []int{400, 800}
+	}
+	tb := stats.NewTable(harness.Columns()...)
+	for _, n := range sizes {
+		for _, x := range []float64{0.2, 0.25} {
+			ours, hss, err := harness.EditRows(n, n/40+1, core.Params{X: x, Eps: eps, Seed: seed}, true)
+			if err != nil {
+				fail(err)
+			}
+			tb.Add(ours.Cells()...)
+			tb.Add(hss.Cells()...)
+		}
+	}
+	fmt.Print(tb)
+	fmt.Println("\nExpected shape: ours uses fewer machines at the same per-machine memory;")
+	fmt.Println("rounds <= 4 per guess (2 in the small regime) vs 2 for [20]; factors within bounds.")
+	fmt.Println("\nAnalytic Table 1 at the largest size, for comparison:")
+	fmt.Print(harness.Analytic(sizes[len(sizes)-1], 0.25))
+}
+
+func runMachineSweep(eps float64, seed int64, small bool) {
+	sizes := []int{400, 800, 1600, 3200, 6400}
+	if small {
+		sizes = []int{400, 800, 1600}
+	}
+	x := 0.25
+	fmt.Printf("Machine-count sweep at x = %.2f, planted distance ~ n^0.5:\n\n", x)
+	pts, err := harness.Sweep(sizes, 0.5, core.Params{X: x, Eps: eps, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	tb := stats.NewTable("n", "machines(ours)", "machines(hss)", "ratio", "ops(ours)", "ops(hss)")
+	for _, p := range pts {
+		tb.Add(p.N, p.OursMachines, p.HSSMachines,
+			stats.Ratio(int64(p.HSSMachines), int64(p.OursMachines)),
+			p.OursOps, p.HSSOps)
+	}
+	fmt.Print(tb)
+	om, hm, oo, ho := harness.Slopes(pts)
+	fmt.Printf("\nFitted exponents (machines): ours n^%.2f vs hss n^%.2f  (paper: n^{(9/5)x}=n^%.2f vs n^{2x}=n^%.2f)\n",
+		om, hm, 9.0/5*x, 2*x)
+	fmt.Printf("Fitted exponents (total ops): ours n^%.2f vs hss n^%.2f\n", oo, ho)
+}
+
+func runXSweep(eps float64, seed int64, small bool) {
+	n := 3000
+	if small {
+		n = 1000
+	}
+	fmt.Printf("Machines vs memory exponent x at n = %d (planted distance n/40):\n\n", n)
+	xs := []float64{0.12, 0.16, 0.2, 0.25, 0.29}
+	pts, err := harness.XSweep(n, n/40, xs, core.Params{Eps: eps, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	tb := stats.NewTable("x", "machines(ours)", "machines(hss)", "ratio", "paper ours n^{1.8x}", "paper hss n^{2x}")
+	for _, p := range pts {
+		tb.Add(p.X, p.OursMachines, p.HSSMachines,
+			stats.Ratio(int64(p.HSSMachines), int64(p.OursMachines)),
+			fmt.Sprintf("%.0f", pow(n, 1.8*p.X)), fmt.Sprintf("%.0f", pow(n, 2*p.X)))
+	}
+	fmt.Print(tb)
+	fmt.Println("\nExpected shape: both grow with x; ours stays below hss at every x.")
+}
+
+func pow(n int, e float64) float64 { return math.Pow(float64(n), e) }
+
+func runUlamSweep(eps float64, seed int64, small bool) {
+	sizes := []int{512, 1024, 2048, 4096}
+	if small {
+		sizes = []int{512, 1024, 2048}
+	}
+	x := 0.3
+	fmt.Printf("Ulam scaling sweep at x = %.2f, planted distance ~ n^0.6:\n\n", x)
+	pts, err := harness.UlamScaling(sizes, 0.6, core.Params{X: x, Eps: eps, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	tb := stats.NewTable("n", "machines", "totalOps", "mem/machine")
+	var ns, ops, mach []float64
+	for _, p := range pts {
+		tb.Add(p.N, p.Machines, p.TotalOps, p.MemWords)
+		ns = append(ns, float64(p.N))
+		ops = append(ops, float64(p.TotalOps))
+		mach = append(mach, float64(p.Machines))
+	}
+	fmt.Print(tb)
+	fmt.Printf("\nFitted exponents: totalOps n^%.2f (paper: Õ(n) => ~1), machines n^%.2f (paper: n^x = n^%.2f)\n",
+		stats.LogLogSlope(ns, ops), stats.LogLogSlope(ns, mach), x)
+}

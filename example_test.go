@@ -1,0 +1,77 @@
+package mpcdist_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpcdist"
+)
+
+func ExampleEditDistance() {
+	fmt.Println(mpcdist.EditDistance("elephant", "relevant"))
+	// Output: 3
+}
+
+func ExampleEditScript() {
+	for _, op := range mpcdist.EditScript([]byte("flaw"), []byte("lawn")) {
+		if op.Kind != mpcdist.Match {
+			fmt.Printf("%s a[%d] b[%d]\n", op.Kind, op.APos, op.BPos)
+		}
+	}
+	// Output:
+	// del a[0] b[0]
+	// ins a[3] b[3]
+}
+
+func ExampleUlamDistance() {
+	// Rotate a permutation: one delete plus one insert.
+	fmt.Println(mpcdist.UlamDistance([]int{1, 2, 3}, []int{2, 3, 1}))
+	// Output: 2
+}
+
+func ExampleLocalUlam() {
+	d, win := mpcdist.LocalUlam([]int{5, 6}, []int{1, 5, 6, 2})
+	fmt.Println(d, win.Gamma, win.Kappa)
+	// Output: 0 1 2
+}
+
+func ExampleUlamDistanceMPC() {
+	rng := rand.New(rand.NewSource(1))
+	s := rng.Perm(1000)
+	sbar := append([]int(nil), s...)
+	for i := 0; i < 20; i++ {
+		sbar[rng.Intn(len(sbar))] = 10000 + i // plant substitutions
+	}
+	res, err := mpcdist.UlamDistanceMPC(s, sbar, mpcdist.MPCParams{X: 0.3, Eps: 0.5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", res.Report.NumRounds)
+	fmt.Println("within 1+eps:", float64(res.Value) <= 1.5*float64(mpcdist.UlamDistance(s, sbar)))
+	// Output:
+	// rounds: 2
+	// within 1+eps: true
+}
+
+func ExampleEditDistanceMPC() {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]byte, 1500)
+	for i := range a {
+		a[i] = byte('a' + rng.Intn(4))
+	}
+	b := append([]byte(nil), a...)
+	for i := 0; i < 25; i++ {
+		b[rng.Intn(len(b))] = byte('a' + rng.Intn(4))
+	}
+	ours, err := mpcdist.EditDistanceMPC(a, b, mpcdist.MPCParams{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	hss, err := mpcdist.EditDistanceHSS(a, b, mpcdist.MPCParams{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fewer machines than the baseline:",
+		ours.Report.MaxMachines < hss.Report.MaxMachines)
+	// Output: fewer machines than the baseline: true
+}

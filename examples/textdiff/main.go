@@ -1,0 +1,89 @@
+// Textdiff: a minimal line diff built on the library's LCS machinery —
+// the dual problem of edit distance in the paper's framing. Lines are the
+// alphabet (generic LCS over comparable symbols); unmatched lines print as
+// -/+ hunks like a classic diff.
+//
+// Usage:
+//
+//	go run ./examples/textdiff fileA fileB
+//	go run ./examples/textdiff            # built-in demo
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcdist/internal/lcs"
+)
+
+func main() {
+	var aLines, bLines []string
+	if len(os.Args) == 3 {
+		aLines = readLines(os.Args[1])
+		bLines = readLines(os.Args[2])
+	} else {
+		aLines = strings.Split(demoA, "\n")
+		bLines = strings.Split(demoB, "\n")
+		fmt.Println("(demo inputs; pass two file paths to diff real files)")
+	}
+
+	pairs := lcs.PairsOf(aLines, bLines)
+	fmt.Printf("--- a (%d lines)\n+++ b (%d lines)\n", len(aLines), len(bLines))
+	fmt.Printf("common lines: %d, indel distance: %d\n\n",
+		len(pairs), len(aLines)+len(bLines)-2*len(pairs))
+
+	ai, bi := 0, 0
+	emit := func(prefix string, line string) { fmt.Printf("%s %s\n", prefix, line) }
+	for _, p := range pairs {
+		for ai < p.I {
+			emit("-", aLines[ai])
+			ai++
+		}
+		for bi < p.J {
+			emit("+", bLines[bi])
+			bi++
+		}
+		emit(" ", aLines[ai])
+		ai++
+		bi++
+	}
+	for ai < len(aLines) {
+		emit("-", aLines[ai])
+		ai++
+	}
+	for bi < len(bLines) {
+		emit("+", bLines[bi])
+		bi++
+	}
+}
+
+func readLines(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "textdiff:", err)
+		os.Exit(1)
+	}
+	return strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+}
+
+const demoA = `package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("hello")
+	fmt.Println("world")
+}`
+
+const demoB = `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "world")
+}`

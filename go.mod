@@ -1,0 +1,3 @@
+module mpcdist
+
+go 1.22

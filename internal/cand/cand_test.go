@@ -1,0 +1,136 @@
+package cand
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestStartsGridCoverage(t *testing.T) {
+	starts := Starts(50, 20, 7, 200)
+	if len(starts) == 0 {
+		t.Fatal("no starts")
+	}
+	found50 := false
+	for _, g := range starts {
+		if g != 50 && g%7 != 0 {
+			t.Errorf("start %d not on grid", g)
+		}
+		if g < 30 || g > 70 {
+			t.Errorf("start %d outside [30,70]", g)
+		}
+		if g == 50 {
+			found50 = true
+		}
+	}
+	if !found50 {
+		t.Error("block offset itself missing from starts")
+	}
+	// Every point of [30,70] is within gap-1 of some start.
+	sort.Ints(starts)
+	for p := 30; p <= 70; p++ {
+		ok := false
+		for _, g := range starts {
+			if g >= p && g-p < 7 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("point %d not covered within gap", p)
+		}
+	}
+}
+
+func TestStartsClamping(t *testing.T) {
+	starts := Starts(2, 10, 3, 8)
+	for _, g := range starts {
+		if g < 0 || g > 7 {
+			t.Errorf("start %d out of string", g)
+		}
+	}
+	if got := Starts(5, 2, 1, 0); got != nil {
+		t.Errorf("empty sbar should give no starts, got %v", got)
+	}
+	// gap clamped to 1: every index in range.
+	starts = Starts(5, 2, 0, 100)
+	if len(starts) != 5 {
+		t.Errorf("gap=0 should enumerate all 5 points, got %v", starts)
+	}
+}
+
+func TestEndsProperties(t *testing.T) {
+	gamma, blockLen, m := 40, 16, 200
+	eps := 0.5
+	ends := Ends(gamma, blockLen, m, eps, 64, 100)
+	if len(ends) == 0 {
+		t.Fatal("no ends")
+	}
+	hasNatural := false
+	for _, e := range ends {
+		if e < gamma || e > m-1 {
+			t.Errorf("end %d out of range", e)
+		}
+		if e-gamma+1 > 64 {
+			t.Errorf("end %d exceeds max window length", e)
+		}
+		if e == gamma+blockLen-1 {
+			hasNatural = true
+		}
+	}
+	if !hasNatural {
+		t.Error("natural end gamma+B-1 missing")
+	}
+	// Geometric ladder: any target end in range is within a 1+eps factor
+	// in window-length terms of some candidate end.
+	for target := gamma; target <= gamma+63 && target < m; target++ {
+		bestBelow := -1
+		for _, e := range ends {
+			if e <= target && e > bestBelow {
+				bestBelow = e
+			}
+		}
+		if bestBelow < 0 {
+			t.Fatalf("no end at or below %d", target)
+		}
+		gap := target - bestBelow
+		// Ladder guarantees gap <= eps * distance-from-natural + 1.
+		distFromNatural := target - (gamma + blockLen - 1)
+		if distFromNatural < 0 {
+			distFromNatural = (gamma + blockLen - 1) - target
+		}
+		if float64(gap) > eps*float64(distFromNatural)+2 {
+			t.Errorf("target %d: nearest below %d leaves gap %d (dist from natural %d)",
+				target, bestBelow, gap, distFromNatural)
+		}
+	}
+}
+
+func TestEndsDegenerate(t *testing.T) {
+	if got := Ends(0, 5, 0, 0.5, 10, 10); got != nil {
+		t.Errorf("m=0 should give nil, got %v", got)
+	}
+	if got := Ends(0, 0, 10, 0.5, 10, 10); got != nil {
+		t.Errorf("blockLen=0 should give nil, got %v", got)
+	}
+	// Single-character string.
+	ends := Ends(0, 1, 1, 0.5, 5, 5)
+	if len(ends) != 1 || ends[0] != 0 {
+		t.Errorf("ends on 1-char string = %v", ends)
+	}
+	// eps <= 0 falls back without infinite loop.
+	ends = Ends(0, 4, 20, 0, 10, 10)
+	if len(ends) == 0 {
+		t.Error("eps=0 fallback produced nothing")
+	}
+}
+
+func TestEndsNoDuplicates(t *testing.T) {
+	ends := Ends(10, 8, 100, 0.3, 40, 50)
+	seen := map[int]bool{}
+	for _, e := range ends {
+		if seen[e] {
+			t.Fatalf("duplicate end %d", e)
+		}
+		seen[e] = true
+	}
+}

@@ -1,0 +1,261 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/ulam"
+)
+
+// allTuples enumerates every (block, window) pair — including empty
+// windows — for blocks of size bs partitioning s, with exact distances.
+func allTuples(s, sbar []byte, bs int) []Tuple {
+	var ts []Tuple
+	for l := 0; l < len(s); l += bs {
+		r := l + bs - 1
+		if r > len(s)-1 {
+			r = len(s) - 1
+		}
+		block := s[l : r+1]
+		for g := 0; g < len(sbar); g++ {
+			// Empty window at position g.
+			ts = append(ts, Tuple{L: l, R: r, G: g, K: g - 1, D: r - l + 1})
+			for k := g; k < len(sbar); k++ {
+				d := editdist.Distance(block, sbar[g:k+1], nil)
+				ts = append(ts, Tuple{L: l, R: r, G: g, K: k, D: d})
+			}
+		}
+		if len(sbar) == 0 {
+			ts = append(ts, Tuple{L: l, R: r, G: 0, K: -1, D: r - l + 1})
+		}
+	}
+	return ts
+}
+
+func randBytes(rng *rand.Rand, n, sigma int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + rng.Intn(sigma))
+	}
+	return s
+}
+
+func TestEditCostExactWithFullTupleSet(t *testing.T) {
+	// With every possible tuple available, the chain DP must recover the
+	// exact edit distance: any optimal alignment decomposes into per-block
+	// windows plus inserted characters between windows.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(14)
+		m := rng.Intn(14)
+		s := randBytes(rng, n, 3)
+		sbar := randBytes(rng, m, 3)
+		bs := 1 + rng.Intn(n)
+		ts := allTuples(s, sbar, bs)
+		want := editdist.Distance(s, sbar, nil)
+		if got := EditCostQuadratic(ts, n, m, false, nil); got != want {
+			t.Fatalf("EditCostQuadratic = %d, want %d (s=%q sbar=%q bs=%d)", got, want, s, sbar, bs)
+		}
+		if got := EditCost(ts, n, m, false, nil); got != want {
+			t.Fatalf("EditCost = %d, want %d (s=%q sbar=%q bs=%d)", got, want, s, sbar, bs)
+		}
+	}
+}
+
+func TestUlamCostExactWithFullTupleSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		u := 20
+		s := rng.Perm(u)[:n]
+		sbar := rng.Perm(u)[:rng.Intn(10)]
+		bs := 1 + rng.Intn(n)
+		var ts []Tuple
+		for l := 0; l < len(s); l += bs {
+			r := l + bs - 1
+			if r > len(s)-1 {
+				r = len(s) - 1
+			}
+			block := s[l : r+1]
+			for g := 0; g < len(sbar); g++ {
+				for k := g; k < len(sbar); k++ {
+					d := ulam.Exact(block, sbar[g:k+1], nil)
+					ts = append(ts, Tuple{L: l, R: r, G: g, K: k, D: d})
+				}
+			}
+		}
+		want := ulam.Exact(s, sbar, nil)
+		if got := UlamCost(ts, len(s), len(sbar), nil); got != want {
+			t.Fatalf("UlamCost = %d, want %d (s=%v sbar=%v bs=%d)", got, want, s, sbar, bs)
+		}
+	}
+}
+
+func TestUlamCostNoTuples(t *testing.T) {
+	if got := UlamCost(nil, 5, 3, nil); got != 5 {
+		t.Errorf("UlamCost(nil) = %d, want 5", got)
+	}
+	if got := EditCost(nil, 5, 3, false, nil); got != 8 {
+		t.Errorf("EditCost(nil) = %d, want 8", got)
+	}
+}
+
+func TestEditCostFenwickMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 300; trial++ {
+		n := 5 + rng.Intn(40)
+		m := 5 + rng.Intn(40)
+		nt := rng.Intn(30)
+		ts := make([]Tuple, nt)
+		for i := range ts {
+			l := rng.Intn(n)
+			r := l + rng.Intn(n-l)
+			g := rng.Intn(m)
+			var k int
+			if rng.Intn(5) == 0 {
+				k = g - 1 // empty window
+			} else {
+				k = g + rng.Intn(m-g)
+			}
+			ts[i] = Tuple{L: l, R: r, G: g, K: k, D: rng.Intn(10)}
+		}
+		for _, overlap := range []bool{false, true} {
+			want := EditCostQuadratic(ts, n, m, overlap, nil)
+			got := EditCost(ts, n, m, overlap, nil)
+			if got != want {
+				t.Fatalf("overlap=%v: Fenwick %d != quadratic %d (tuples=%v n=%d m=%d)",
+					overlap, got, want, ts, n, m)
+			}
+		}
+	}
+}
+
+func TestEditCostOverlapNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 100; trial++ {
+		n, m := 20, 20
+		ts := make([]Tuple, 10)
+		for i := range ts {
+			l := rng.Intn(n)
+			r := l + rng.Intn(n-l)
+			g := rng.Intn(m)
+			k := g + rng.Intn(m-g)
+			ts[i] = Tuple{L: l, R: r, G: g, K: k, D: rng.Intn(5)}
+		}
+		strict := EditCost(ts, n, m, false, nil)
+		loose := EditCost(ts, n, m, true, nil)
+		if loose > strict {
+			t.Fatalf("overlap-allowed cost %d > strict cost %d", loose, strict)
+		}
+	}
+}
+
+func TestEditCostOverlapCharging(t *testing.T) {
+	// Two tuples whose windows overlap by 2: chaining them must pay the
+	// overlap. s = [0..9], sbar = [0..9].
+	ts := []Tuple{
+		{L: 0, R: 4, G: 0, K: 5, D: 0},
+		{L: 5, R: 9, G: 4, K: 9, D: 0},
+	}
+	// Chain: d = 0 + (5-4-1=0 sgap) + (5-4+1=2 overlap) + 0, end cost 0.
+	if got := EditCost(ts, 10, 10, true, nil); got != 2 {
+		t.Errorf("overlap chain cost = %d, want 2", got)
+	}
+	// Without overlap allowed, each tuple alone: e.g. first tuple then
+	// 5 deletions + 4 insertions... best single-tuple completion:
+	// tuple0: 0+0+0 + (10-1-4)+(10-1-5) = 9; tuple1: 5+4+0+0 = 9.
+	if got := EditCost(ts, 10, 10, false, nil); got != 9 {
+		t.Errorf("strict cost = %d, want 9", got)
+	}
+}
+
+func TestLCSScoreChainExactWithFullTupleSet(t *testing.T) {
+	// With every (block, window) pair scored by exact LCS, the chain must
+	// recover the global LCS: an optimal matching decomposes into
+	// per-block windows.
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		m := rng.Intn(12)
+		s := randBytes(rng, n, 3)
+		sbar := randBytes(rng, m, 3)
+		bs := 1 + rng.Intn(n)
+		var ts []Tuple
+		for l := 0; l < n; l += bs {
+			r := l + bs - 1
+			if r > n-1 {
+				r = n - 1
+			}
+			for g := 0; g < m; g++ {
+				for k := g; k < m; k++ {
+					score := lcsNaive(s[l:r+1], sbar[g:k+1])
+					ts = append(ts, Tuple{L: l, R: r, G: g, K: k, D: score})
+				}
+			}
+		}
+		want := lcsNaive(s, sbar)
+		got, picked := LCSScoreChain(ts, nil)
+		if got != want {
+			t.Fatalf("LCSScoreChain = %d, want %d (s=%q sbar=%q bs=%d)", got, want, s, sbar, bs)
+		}
+		sum := 0
+		prevR, prevK := -1, -1
+		for _, tp := range picked {
+			if tp.L <= prevR || tp.G <= prevK {
+				t.Fatalf("chain overlaps: %+v", picked)
+			}
+			sum += tp.D
+			prevR, prevK = tp.R, tp.K
+		}
+		if sum != got {
+			t.Fatalf("chain sum %d != value %d", sum, got)
+		}
+	}
+}
+
+func lcsNaive(a, b []byte) int {
+	d := make([][]int, len(a)+1)
+	for i := range d {
+		d[i] = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				d[i][j] = d[i-1][j-1] + 1
+			} else if d[i-1][j] > d[i][j-1] {
+				d[i][j] = d[i-1][j]
+			} else {
+				d[i][j] = d[i][j-1]
+			}
+		}
+	}
+	return d[len(a)][len(b)]
+}
+
+func TestLCSScoreEmpty(t *testing.T) {
+	if got := LCSScore(nil, nil); got != 0 {
+		t.Errorf("empty LCSScore = %d", got)
+	}
+}
+
+func TestLCSScoreFenwickMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 300; trial++ {
+		n := 5 + rng.Intn(40)
+		m := 5 + rng.Intn(40)
+		nt := rng.Intn(30)
+		ts := make([]Tuple, nt)
+		for i := range ts {
+			l := rng.Intn(n)
+			r := l + rng.Intn(n-l)
+			g := rng.Intn(m)
+			k := g + rng.Intn(m-g)
+			ts[i] = Tuple{L: l, R: r, G: g, K: k, D: rng.Intn(10)}
+		}
+		want, _ := LCSScoreChain(ts, nil)
+		if got := LCSScore(ts, nil); got != want {
+			t.Fatalf("Fenwick LCSScore %d != quadratic %d (%v)", got, want, ts)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcdist/internal/approx"
+	"mpcdist/internal/cand"
+	"mpcdist/internal/chain"
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/mpc"
+)
+
+// editJob is a round-1 payload for the small-distance regime: one block of
+// s plus a run of consecutive candidate starting points, with the segment
+// of sbar that covers every window those starts can open (Section 5.1.1:
+// "we give several candidate substrings of each block to a machine").
+type editJob struct {
+	L, R   int    // block interval in s
+	Block  []byte // s[L..R]
+	SegOff int    // offset of Seg within sbar
+	Seg    []byte // sbar[SegOff .. SegOff+len(Seg)-1]
+	Starts []int  // absolute candidate starting points in sbar
+	Guess  int    // the distance guess n^delta
+	MaxWin int    // window length cap (1/eps')·B
+}
+
+// Words implements mpc.Payload.
+func (j *editJob) Words() int {
+	return 7 + len(j.Starts) + (len(j.Block)+7)/8 + (len(j.Seg)+7)/8
+}
+
+// pairDistances prices the ladder of windows opening at gamma against the
+// job's block, with the kernel chosen by p.Solver. The default exact
+// kernel scores every ladder end in one bit-parallel pass (the ends are
+// prefixes of the longest window).
+func pairDistances(job *editJob, gamma int, kappas, prefixes []int, dFilter int, p Params, x *mpc.Ctx) []int {
+	maxKappa := kappas[len(kappas)-1]
+	for _, k := range kappas {
+		if k > maxKappa {
+			maxKappa = k
+		}
+	}
+	full := job.Seg[gamma-job.SegOff : maxKappa-job.SegOff+1]
+	switch p.Solver {
+	case PairApprox12:
+		ds := make([]int, len(kappas))
+		for i, plen := range prefixes {
+			win := full[:plen]
+			ds[i] = approx.Ed(job.Block, win, approx.Params{
+				Eps:  p.Eps / 4,
+				Cap:  minInt(dFilter, len(job.Block)+plen),
+				Seed: p.Seed ^ int64(x.Machine)<<20 ^ int64(gamma),
+			}, x.Counter())
+		}
+		return ds
+	case PairMyers:
+		ds := make([]int, len(kappas))
+		for i, plen := range prefixes {
+			ds[i] = editdist.Myers(job.Block, full[:plen], x.Counter())
+		}
+		return ds
+	default: // PairHybridExact
+		return editdist.MyersMulti(job.Block, full, prefixes, x.Counter())
+	}
+}
+
+// editSmall runs the two-round small-distance algorithm (Lemma 6) for a
+// fixed distance guess g, returning the chain value and the cluster report.
+// The approximation factor is (3+eps) with the default [12]-substitute pair
+// solver, or 1+eps with ExactPairs.
+func editSmall(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
+	n, m := len(s), len(sbar)
+	N := maxInt(n, m)
+	cl := p.cluster(N)
+	epsP := p.Eps / 4 // the paper uses eps/22; /4 keeps simulator-scale candidate sets sane
+	bsz := intPow(N, 1-p.X)
+	nBlocks := (n + bsz - 1) / bsz
+	grid := maxInt(1, int(epsP*float64(g)/float64(maxInt(nBlocks, 1))))
+	maxWin := int(float64(bsz)/epsP) + 1
+
+	// Distribute: for each block, runs of eta = B/G consecutive starts.
+	eta := maxInt(1, bsz/grid)
+	inputs := make(map[int][]mpc.Payload)
+	id := 0
+	for l := 0; l < n; l += bsz {
+		r := minInt(l+bsz-1, n-1)
+		starts := cand.Starts(l, g, grid, m)
+		for lo := 0; lo < len(starts); lo += eta {
+			hi := minInt(lo+eta, len(starts))
+			run := starts[lo:hi]
+			segLo := run[0]
+			segHi := minInt(run[len(run)-1]+maxWin, m)
+			inputs[id] = []mpc.Payload{&editJob{
+				L: l, R: r,
+				Block:  s[l : r+1],
+				SegOff: segLo,
+				Seg:    sbar[segLo:segHi],
+				Starts: append([]int(nil), run...),
+				Guess:  g,
+				MaxWin: maxWin,
+			}}
+			id++
+		}
+	}
+	collector := 0
+	if len(inputs) == 0 {
+		// No blocks (empty s) or no starts (empty sbar): trivial answer.
+		return n + m, cl.Report(), nil
+	}
+
+	dFilter := int((3 + p.Eps) * float64(g))
+
+	out, err := cl.Run("edit-small/pairs", inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+		for _, pl := range in {
+			job := pl.(*editJob)
+			blen := len(job.Block)
+			for _, gamma := range job.Starts {
+				var kappas, prefixes []int
+				for _, kappa := range cand.Ends(gamma, blen, m, epsP, job.MaxWin, job.Guess) {
+					if kappa-job.SegOff >= len(job.Seg) {
+						continue // outside this machine's segment
+					}
+					kappas = append(kappas, kappa)
+					prefixes = append(prefixes, kappa-gamma+1)
+				}
+				if len(kappas) == 0 {
+					continue
+				}
+				ds := pairDistances(job, gamma, kappas, prefixes, dFilter, p, x)
+				for i, kappa := range kappas {
+					d := ds[i]
+					// Tuples costlier than the acceptance threshold, or
+					// dominated by deleting the block and inserting the
+					// window, can never appear in an accepted chain.
+					if d > dFilter || d > blen+prefixes[i] {
+						continue
+					}
+					x.Send(collector, tupleMsg(chain.Tuple{L: job.L, R: job.R, G: gamma, K: kappa, D: d}))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return 0, mpc.Report{}, err
+	}
+	if _, ok := out[collector]; !ok {
+		out[collector] = []mpc.Payload{}
+	}
+
+	// Round 2: Algorithm 4 on one machine.
+	fin, err := cl.Run("edit-small/chain", out, func(x *mpc.Ctx, in []mpc.Payload) {
+		tuples := make([]chain.Tuple, 0, len(in))
+		for _, pl := range in {
+			tuples = append(tuples, chain.Tuple(pl.(tupleMsg)))
+		}
+		v := chain.EditCost(tuples, n, m, false, x.Counter())
+		x.Send(collector, valueMsg(v))
+	})
+	if err != nil {
+		return 0, mpc.Report{}, err
+	}
+	vals := fin[collector]
+	if len(vals) != 1 {
+		return 0, mpc.Report{}, fmt.Errorf("core: edit-small chain produced %d values", len(vals))
+	}
+	return int(vals[0].(valueMsg)), cl.Report(), nil
+}

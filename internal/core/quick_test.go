@@ -1,0 +1,71 @@
+package core
+
+// Property-based tests: for arbitrary seeds and sizes drawn by
+// testing/quick, the MPC values must sandwich between the exact distance
+// and its approximation bound, with the model invariants (round counts)
+// intact.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/ulam"
+	"mpcdist/internal/workload"
+)
+
+func TestQuickUlamMPCSandwich(t *testing.T) {
+	f := func(seed int64, rawN uint16, rawD uint16) bool {
+		n := 64 + int(rawN)%192 // 64..255
+		d := int(rawD) % n
+		rng := rand.New(rand.NewSource(seed))
+		s, sbar, _ := workload.PlantedUlam(rng, n, d)
+		res, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d n %d: %v", seed, n, err)
+			return false
+		}
+		exact := ulam.Exact(s, sbar, nil)
+		if res.Value < exact {
+			t.Logf("seed %d: value %d < exact %d", seed, res.Value, exact)
+			return false
+		}
+		if float64(res.Value) > 2*float64(exact)+1 {
+			t.Logf("seed %d: value %d > 2x exact %d", seed, res.Value, exact)
+			return false
+		}
+		return res.Report.NumRounds == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEditMPCSandwich(t *testing.T) {
+	f := func(seed int64, rawN uint16, rawD uint8) bool {
+		n := 128 + int(rawN)%256 // 128..383
+		d := 1 + int(rawD)%32
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.RandomString(rng, n, 4)
+		sbar := workload.PlantedEdits(rng, s, d, 4)
+		res, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 0.5, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d n %d: %v", seed, n, err)
+			return false
+		}
+		exact := editdist.Distance(s, sbar, nil)
+		if res.Value < exact {
+			t.Logf("seed %d: value %d < exact %d", seed, res.Value, exact)
+			return false
+		}
+		if exact > 0 && float64(res.Value) > 3.5*float64(exact) {
+			t.Logf("seed %d: value %d vs exact %d", seed, res.Value, exact)
+			return false
+		}
+		return res.Report.NumRounds <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+// Robustness tests: unequal lengths, degenerate sizes, adversarial
+// workloads, and failure injection (deliberately starved memory budgets
+// must surface as MemoryError, never as wrong answers).
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/ulam"
+	"mpcdist/internal/workload"
+)
+
+func TestUlamMPCUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 4; trial++ {
+		n := 150 + rng.Intn(150)
+		m := 150 + rng.Intn(300)
+		s := rng.Perm(n)
+		sbar := rng.Perm(m)
+		res, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ulam.Exact(s, sbar, nil)
+		if res.Value < exact {
+			t.Fatalf("value %d below exact %d (n=%d m=%d)", res.Value, exact, n, m)
+		}
+		if float64(res.Value) > 2*float64(exact)+1 {
+			t.Fatalf("value %d vs exact %d exceeds 1+eps (n=%d m=%d)", res.Value, exact, n, m)
+		}
+	}
+}
+
+func TestEditMPCUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	s := workload.RandomString(rng, 700, 4)
+	sbar := append([]byte(nil), s[:500]...) // truncation: d = 200 exactly
+	res, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := editdist.Distance(s, sbar, nil)
+	if exact != 200 {
+		t.Fatalf("setup wrong: exact = %d", exact)
+	}
+	if res.Value < exact || float64(res.Value) > 1.5*float64(exact)+1 {
+		t.Errorf("truncation: value %d vs exact %d", res.Value, exact)
+	}
+}
+
+func TestEditMPCTinyInputs(t *testing.T) {
+	for _, c := range []struct{ a, b string }{
+		{"a", "b"}, {"a", ""}, {"", "xyz"}, {"ab", "ba"}, {"x", "x"},
+	} {
+		res, err := EditMPC([]byte(c.a), []byte(c.b), Params{X: 0.25, Eps: 0.5})
+		if err != nil {
+			t.Fatalf("%q->%q: %v", c.a, c.b, err)
+		}
+		want := editdist.Strings(c.a, c.b)
+		if res.Value != want {
+			t.Errorf("%q->%q: value %d, want %d", c.a, c.b, res.Value, want)
+		}
+	}
+}
+
+func TestUlamMPCTinyInputs(t *testing.T) {
+	for _, c := range []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1}, []int{2}, 1},
+		{[]int{1}, nil, 1},
+		{[]int{1, 2}, []int{2, 1}, 2},
+		{[]int{5}, []int{5}, 0},
+	} {
+		res, err := UlamMPC(c.a, c.b, Params{X: 0.3, Eps: 1})
+		if err != nil {
+			t.Fatalf("%v->%v: %v", c.a, c.b, err)
+		}
+		if res.Value != c.want {
+			t.Errorf("%v->%v: value %d, want %d", c.a, c.b, res.Value, c.want)
+		}
+	}
+}
+
+func TestEditMPCBlockMoveWorkload(t *testing.T) {
+	// Block moves break near-diagonal assumptions; factors must hold.
+	rng := rand.New(rand.NewSource(113))
+	s := workload.RandomString(rng, 800, 6)
+	sbar := workload.BlockMove(rng, s, 60)
+	exact := editdist.Distance(s, sbar, nil)
+	res, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < exact || float64(res.Value) > 1.5*float64(exact)+1 {
+		t.Errorf("block move: value %d vs exact %d", res.Value, exact)
+	}
+}
+
+func TestUlamMPCBlockMoveWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	s := rng.Perm(600)
+	sbar := workload.BlockMoveInts(rng, s, 50)
+	exact := ulam.Exact(s, sbar, nil)
+	res, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < exact || float64(res.Value) > 2*float64(exact)+1 {
+		t.Errorf("block move: value %d vs exact %d", res.Value, exact)
+	}
+}
+
+func TestEditMPCMirrorWorkload(t *testing.T) {
+	// Reversal: near-maximal distance; must route through the far guesses
+	// and still respect the factor.
+	rng := rand.New(rand.NewSource(115))
+	s := workload.RandomString(rng, 300, 10)
+	sbar := workload.Mirror(s)
+	exact := editdist.Distance(s, sbar, nil)
+	res, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < exact || float64(res.Value) > 4*float64(exact)+1 {
+		t.Errorf("mirror: value %d vs exact %d", res.Value, exact)
+	}
+}
+
+func TestEditMPCZipfAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(116))
+	s := workload.Zipf(rng, 600, 8)
+	sbar := workload.PlantedEdits(rng, s, 25, 8)
+	exact := editdist.Distance(s, sbar, nil)
+	res, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < exact || float64(res.Value) > 1.5*float64(exact)+1 {
+		t.Errorf("zipf: value %d vs exact %d", res.Value, exact)
+	}
+}
+
+func TestMemoryStarvationSurfacesAsError(t *testing.T) {
+	// A budget too small for even one block must yield a MemoryError, not
+	// a silent wrong answer.
+	rng := rand.New(rand.NewSource(117))
+	s, sbar, _ := workload.PlantedUlam(rng, 400, 40)
+	_, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: 1, MemFactor: 0.001})
+	var me *mpc.MemoryError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MemoryError, got %v", err)
+	}
+
+	a := workload.RandomString(rng, 400, 4)
+	b := workload.PlantedEdits(rng, a, 20, 4)
+	_, err = EditMPC(a, b, Params{X: 0.25, Eps: 0.5, Seed: 1, MemFactor: 0.001})
+	if !errors.As(err, &me) {
+		t.Fatalf("edit: want MemoryError, got %v", err)
+	}
+}
+
+func TestSeedChangesSamplingNotCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(118))
+	s, sbar, _ := workload.PlantedUlam(rng, 400, 60)
+	exact := ulam.Exact(s, sbar, nil)
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value < exact || float64(res.Value) > 2*float64(exact)+1 {
+			t.Errorf("seed %d: value %d vs exact %d", seed, res.Value, exact)
+		}
+	}
+}
+
+func TestGuessReportsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(119))
+	a := workload.RandomString(rng, 400, 4)
+	b := workload.PlantedEdits(rng, a, 30, 4)
+	res, err := EditMPC(a, b, Params{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GuessReports) == 0 {
+		t.Fatal("no per-guess reports")
+	}
+	var sum int64
+	for _, r := range res.GuessReports {
+		sum += r.TotalOps
+	}
+	if sum != res.Report.TotalOps {
+		t.Errorf("aggregate ops %d != sum of guesses %d", res.Report.TotalOps, sum)
+	}
+	if res.Report.CommWords == 0 {
+		t.Error("no communication recorded")
+	}
+}

@@ -1,0 +1,198 @@
+package editdist
+
+import (
+	"math/bits"
+
+	"mpcdist/internal/stats"
+)
+
+// DiagonalTransition computes the exact edit distance with the
+// Landau-Myers/Ukkonen diagonal-transition algorithm: O(n + d^2·log n)
+// expected time where d is the distance, using hashed longest-common-
+// extension queries. It is the kernel of choice when strings are huge but
+// similar (the paper's motivating genome regime).
+//
+// LCE queries compare 64-bit polynomial prefix hashes (two independent
+// moduli); a collision would require two distinct substrings agreeing
+// under both hashes, with probability < 2^-50 per query. This mirrors the
+// standard practical substitution for the suffix-tree LCE of the original
+// algorithm (DESIGN.md notes the randomization).
+func DiagonalTransition(a, b []byte, ops *stats.Ops) int {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return n + m
+	}
+	h := newLCE(a, b)
+
+	// f[k] = furthest row i on diagonal k = j - i reachable with e edits.
+	// Diagonals are offset by n so indices stay nonnegative.
+	const neg = -1 << 30
+	kmin, kmax := -n, m
+	size := kmax - kmin + 3
+	prev := make([]int, size)
+	cur := make([]int, size)
+	for i := range prev {
+		prev[i] = neg
+		cur[i] = neg
+	}
+	idx := func(k int) int { return k - kmin + 1 }
+
+	target := m - n // diagonal of the bottom-right corner
+	var work int64
+	// e = 0: slide along the main diagonal.
+	i0 := h.extend(0, 0)
+	prev[idx(0)] = i0
+	if target == 0 && i0 >= n {
+		ops.Add(1)
+		return 0
+	}
+	for e := 1; e <= n+m; e++ {
+		lo := -e
+		if lo < -n {
+			lo = -n
+		}
+		hi := e
+		if hi > m {
+			hi = m
+		}
+		for k := lo; k <= hi; k++ {
+			i := prev[idx(k)] + 1 // substitution
+			if v := prev[idx(k-1)]; v > i {
+				i = v // insertion into a (j advances, i does not)
+			}
+			if v := prev[idx(k+1)] + 1; v > i {
+				i = v // deletion from a
+			}
+			if i < 0 {
+				if k >= 0 && e >= k {
+					i = 0 // can always start on diagonal k >= 0 after k insertions
+				} else {
+					cur[idx(k)] = neg
+					continue
+				}
+			}
+			if i > n {
+				i = n
+			}
+			if i+k > m {
+				cur[idx(k)] = neg
+				continue
+			}
+			i += h.extend(i, i+k)
+			cur[idx(k)] = i
+			work++
+			if k == target && i >= n {
+				ops.Add(work + int64(n)/8)
+				return e
+			}
+		}
+		prev, cur = cur, prev
+		for x := range cur {
+			cur[x] = neg
+		}
+	}
+	ops.Add(work)
+	return n + m // unreachable
+}
+
+// lceIndex answers longest-common-extension queries between suffixes of a
+// and b via binary search over double polynomial hashes.
+type lceIndex struct {
+	a, b   []byte
+	ha, hb [2][]uint64
+	pw     [2][]uint64
+}
+
+const (
+	lceMod0  = (1 << 61) - 1 // Mersenne prime 2^61-1
+	lceMod1  = (1 << 31) - 1
+	lceBase0 = 1_000_000_007
+	lceBase1 = 131
+)
+
+func newLCE(a, b []byte) *lceIndex {
+	l := &lceIndex{a: a, b: b}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for h, pair := range [2][2]uint64{{lceBase0, lceMod0}, {lceBase1, lceMod1}} {
+		base, mod := pair[0], pair[1]
+		l.pw[h] = make([]uint64, n+1)
+		l.pw[h][0] = 1
+		for i := 1; i <= n; i++ {
+			l.pw[h][i] = mulmod(l.pw[h][i-1], base, mod)
+		}
+		l.ha[h] = prefixHash(a, base, mod)
+		l.hb[h] = prefixHash(b, base, mod)
+	}
+	return l
+}
+
+func prefixHash(s []byte, base, mod uint64) []uint64 {
+	out := make([]uint64, len(s)+1)
+	for i, c := range s {
+		out[i+1] = (mulmod(out[i], base, mod) + uint64(c) + 1) % mod
+	}
+	return out
+}
+
+// mulmod multiplies modulo mod. Both operands must already be reduced
+// modulo mod, which keeps the 128-bit product's high word below mod, as
+// bits.Rem64 requires.
+func mulmod(x, y, mod uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return bits.Rem64(hi, lo, mod)
+}
+
+// hashRange returns the hash of s[i:i+l] under hash h for string sel
+// (0 = a, 1 = b).
+func (l *lceIndex) hashRange(sel, h, i, length int) uint64 {
+	var pre []uint64
+	if sel == 0 {
+		pre = l.ha[h]
+	} else {
+		pre = l.hb[h]
+	}
+	var mod uint64 = lceMod0
+	if h == 1 {
+		mod = lceMod1
+	}
+	sub := mulmod(pre[i], l.pw[h][length], mod)
+	v := pre[i+length]
+	if v < sub%mod {
+		v += mod
+	}
+	return (v - sub%mod) % mod
+}
+
+// extend returns the length of the longest common prefix of a[i:] and
+// b[j:].
+func (l *lceIndex) extend(i, j int) int {
+	max := len(l.a) - i
+	if r := len(l.b) - j; r < max {
+		max = r
+	}
+	if max <= 0 {
+		return 0
+	}
+	// Fast path: compare a few characters directly before binary search.
+	k := 0
+	for k < max && k < 8 && l.a[i+k] == l.b[j+k] {
+		k++
+	}
+	if k < 8 || k == max {
+		return k
+	}
+	lo, hi := k, max // invariant: prefix of length lo matches, hi+1 doesn't... search largest match
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.hashRange(0, 0, i, mid) == l.hashRange(1, 0, j, mid) &&
+			l.hashRange(0, 1, i, mid) == l.hashRange(1, 1, j, mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

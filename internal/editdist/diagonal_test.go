@@ -1,0 +1,103 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiagonalTransitionVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		a := randBytes(rng, rng.Intn(80), 3)
+		b := randBytes(rng, rng.Intn(80), 3)
+		if got, want := DiagonalTransition(a, b, nil), Distance(a, b, nil); got != want {
+			t.Fatalf("DiagonalTransition(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestDiagonalTransitionSmallDistanceLargeStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := randBytes(rng, 20000, 4)
+	b := append([]byte(nil), a...)
+	for i := 0; i < 15; i++ {
+		p := rng.Intn(len(b))
+		switch rng.Intn(3) {
+		case 0:
+			b[p] = byte('a' + rng.Intn(4))
+		case 1:
+			b = append(b[:p], b[p+1:]...)
+		default:
+			b = append(b[:p], append([]byte{byte('a' + rng.Intn(4))}, b[p:]...)...)
+		}
+	}
+	want := Myers(a, b, nil)
+	if got := DiagonalTransition(a, b, nil); got != want {
+		t.Fatalf("large-string DiagonalTransition = %d, want %d", got, want)
+	}
+}
+
+func TestDiagonalTransitionEdges(t *testing.T) {
+	if got := DiagonalTransition(nil, []byte("ab"), nil); got != 2 {
+		t.Errorf("empty a: %d", got)
+	}
+	if got := DiagonalTransition([]byte("ab"), nil, nil); got != 2 {
+		t.Errorf("empty b: %d", got)
+	}
+	if got := DiagonalTransition([]byte("same"), []byte("same"), nil); got != 0 {
+		t.Errorf("equal: %d", got)
+	}
+	// Highly repetitive strings stress the LCE fast path and hashing.
+	a := make([]byte, 3000)
+	b := make([]byte, 3100)
+	for i := range a {
+		a[i] = 'x'
+	}
+	for i := range b {
+		b[i] = 'x'
+	}
+	if got := DiagonalTransition(a, b, nil); got != 100 {
+		t.Errorf("repetitive: %d, want 100", got)
+	}
+}
+
+func TestLCEExtend(t *testing.T) {
+	a := []byte("abcdefghijklmnopqrstuvwxyz0123456789")
+	b := []byte("abcdefghijklmnopqrstuvwxyz012345678X")
+	l := newLCE(a, b)
+	if got := l.extend(0, 0); got != 35 {
+		t.Errorf("extend(0,0) = %d, want 35", got)
+	}
+	if got := l.extend(35, 35); got != 0 {
+		t.Errorf("extend(35,35) = %d, want 0", got)
+	}
+	if got := l.extend(36, 0); got != 0 {
+		t.Errorf("extend beyond end = %d, want 0", got)
+	}
+	// Long equal strings: binary-search path.
+	n := 5000
+	x := make([]byte, n)
+	for i := range x {
+		x[i] = byte('a' + i%7)
+	}
+	l2 := newLCE(x, x)
+	if got := l2.extend(0, 0); got != n {
+		t.Errorf("self extend = %d, want %d", got, n)
+	}
+	if got := l2.extend(7, 0); got != n-7 {
+		t.Errorf("periodic extend = %d, want %d", got, n-7)
+	}
+}
+
+func BenchmarkDiagonalTransition20kD15(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	a := randBytes(rng, 20000, 4)
+	c := append([]byte(nil), a...)
+	for i := 0; i < 15; i++ {
+		c[rng.Intn(len(c))] = byte('a' + rng.Intn(4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiagonalTransition(a, c, nil)
+	}
+}

@@ -1,0 +1,51 @@
+package editdist
+
+import "strings"
+
+// FormatAlignment renders an edit script as three aligned text rows —
+// characters of a, a marker line (| match, * substitution, spaces for
+// indels), and characters of b — wrapped at width columns. It is the
+// human-readable view used by the CLI's script mode.
+func FormatAlignment(a, b []byte, script []Op, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var ra, rm, rb []byte
+	for _, op := range script {
+		switch op.Kind {
+		case Match:
+			ra = append(ra, a[op.APos])
+			rm = append(rm, '|')
+			rb = append(rb, b[op.BPos])
+		case Substitute:
+			ra = append(ra, a[op.APos])
+			rm = append(rm, '*')
+			rb = append(rb, b[op.BPos])
+		case Insert:
+			ra = append(ra, '-')
+			rm = append(rm, ' ')
+			rb = append(rb, b[op.BPos])
+		case Delete:
+			ra = append(ra, a[op.APos])
+			rm = append(rm, ' ')
+			rb = append(rb, '-')
+		}
+	}
+	var sb strings.Builder
+	for off := 0; off < len(ra); off += width {
+		end := off + width
+		if end > len(ra) {
+			end = len(ra)
+		}
+		sb.Write(ra[off:end])
+		sb.WriteByte('\n')
+		sb.Write(rm[off:end])
+		sb.WriteByte('\n')
+		sb.Write(rb[off:end])
+		sb.WriteByte('\n')
+		if end < len(ra) {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

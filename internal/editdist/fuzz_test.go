@@ -1,0 +1,70 @@
+package editdist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets cross-check every exact kernel against the classic DP.
+// Under plain `go test` they run their seed corpus; use
+// `go test -fuzz=FuzzKernelsAgree ./internal/editdist` to explore.
+
+func FuzzKernelsAgree(f *testing.F) {
+	f.Add([]byte("kitten"), []byte("sitting"))
+	f.Add([]byte(""), []byte("abc"))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), []byte("aba"))
+	f.Add([]byte("xyxyxyxy"), []byte("yxyxyxyx"))
+	f.Add(bytes.Repeat([]byte("ab"), 40), bytes.Repeat([]byte("ba"), 41))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 300 {
+			a = a[:300]
+		}
+		if len(b) > 300 {
+			b = b[:300]
+		}
+		want := Distance(a, b, nil)
+		if got := Myers(a, b, nil); got != want {
+			t.Fatalf("Myers = %d, want %d", got, want)
+		}
+		if got := DiagonalTransition(a, b, nil); got != want {
+			t.Fatalf("DiagonalTransition = %d, want %d", got, want)
+		}
+		if got := BoundedDistance(a, b, want, nil); got != want {
+			t.Fatalf("BoundedDistance = %d, want %d", got, want)
+		}
+		if d, ok := Banded(a, b, want, nil); !ok || d != want {
+			t.Fatalf("Banded = (%d,%v), want (%d,true)", d, ok, want)
+		}
+		script := Script(a, b)
+		if err := Validate(a, b, script); err != nil {
+			t.Fatalf("script invalid: %v", err)
+		}
+		if Cost(script) != want {
+			t.Fatalf("script cost %d, want %d", Cost(script), want)
+		}
+	})
+}
+
+func FuzzMyersMulti(f *testing.F) {
+	f.Add([]byte("hello"), []byte("world"), uint8(3))
+	f.Add([]byte(""), []byte("x"), uint8(1))
+	f.Fuzz(func(t *testing.T, a, b []byte, step uint8) {
+		if len(a) > 200 {
+			a = a[:200]
+		}
+		if len(b) > 200 {
+			b = b[:200]
+		}
+		st := int(step%7) + 1
+		var ends []int
+		for e := 0; e <= len(b); e += st {
+			ends = append(ends, e)
+		}
+		got := MyersMulti(a, b, ends, nil)
+		for i, e := range ends {
+			if want := Distance(a, b[:e], nil); got[i] != want {
+				t.Fatalf("MyersMulti[%d] = %d, want %d", e, got[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package editdist
+
+import "mpcdist/internal/stats"
+
+const wordBits = 64
+
+// Myers computes the exact edit distance between byte strings using the
+// Myers/Hyyrö bit-parallel dynamic program, O(ceil(|a|/64)·|b|) time. It is
+// the fast exact kernel used for the many block-sized comparisons performed
+// by simulated machines. ops is charged one unit per word-column step, so
+// its counts are comparable to DP cells divided by the word size.
+func Myers(a, b []byte, ops *stats.Ops) int {
+	// Pattern is a (vertical), text is b (horizontal). Keep pattern shorter
+	// to minimize the number of words.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	w := (m + wordBits - 1) / wordBits
+	// Peq[blk][c] has bit i set iff a[blk*64+i] == c.
+	peq := make([][256]uint64, w)
+	for i, c := range a {
+		peq[i/wordBits][c] |= 1 << (uint(i) % wordBits)
+	}
+	pv := make([]uint64, w)
+	mv := make([]uint64, w)
+	for i := range pv {
+		pv[i] = ^uint64(0)
+	}
+	score := m
+	lastBits := uint(m - (w-1)*wordBits) // valid bits in the last block
+	scoreBit := uint64(1) << (lastBits - 1)
+
+	for j := 0; j < n; j++ {
+		c := b[j]
+		hin := 1 // D[0][j+1] - D[0][j] = +1
+		for blk := 0; blk < w; blk++ {
+			eq := peq[blk][c]
+			pvb, mvb := pv[blk], mv[blk]
+			xv := eq | mvb
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvb) + pvb) ^ pvb) | eq
+			ph := mvb | ^(xh | pvb)
+			mh := pvb & xh
+			if blk == w-1 {
+				if ph&scoreBit != 0 {
+					score++
+				} else if mh&scoreBit != 0 {
+					score--
+				}
+			}
+			hout := 0
+			if ph&(1<<(wordBits-1)) != 0 {
+				hout = 1
+			} else if mh&(1<<(wordBits-1)) != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin < 0 {
+				mh |= 1
+			} else if hin > 0 {
+				ph |= 1
+			}
+			pv[blk] = mh | ^(xv | ph)
+			mv[blk] = ph & xv
+			hin = hout
+		}
+	}
+	ops.Add(int64(w) * int64(n))
+	return score
+}
+
+// MyersMulti returns, for each requested prefix length e in ends,
+// ed(a, b[:e]) — all from a single bit-parallel pass over b. The candidate
+// construction of Figs. 4-5 evaluates one block against a ladder of
+// windows sharing a starting point; those windows are prefixes of the
+// longest one, so one pass prices the whole ladder.
+//
+// ends must be in [0, len(b)]; order is arbitrary and duplicates are fine.
+func MyersMulti(a, b []byte, ends []int, ops *stats.Ops) []int {
+	out := make([]int, len(ends))
+	if len(ends) == 0 {
+		return out
+	}
+	m := len(a)
+	if m == 0 {
+		for i, e := range ends {
+			out[i] = e
+		}
+		return out
+	}
+	// want[j] lists result slots for prefix length j.
+	maxEnd := 0
+	for _, e := range ends {
+		if e < 0 || e > len(b) {
+			panic("editdist: MyersMulti end out of range")
+		}
+		if e > maxEnd {
+			maxEnd = e
+		}
+	}
+	want := make([][]int32, maxEnd+1)
+	for i, e := range ends {
+		want[e] = append(want[e], int32(i))
+	}
+
+	w := (m + wordBits - 1) / wordBits
+	peq := make([][256]uint64, w)
+	for i, c := range a {
+		peq[i/wordBits][c] |= 1 << (uint(i) % wordBits)
+	}
+	pv := make([]uint64, w)
+	mv := make([]uint64, w)
+	for i := range pv {
+		pv[i] = ^uint64(0)
+	}
+	score := m
+	lastBits := uint(m - (w-1)*wordBits)
+	scoreBit := uint64(1) << (lastBits - 1)
+
+	record := func(j int) {
+		for _, slot := range want[j] {
+			out[slot] = score
+		}
+	}
+	record(0)
+	for j := 0; j < maxEnd; j++ {
+		c := b[j]
+		hin := 1
+		for blk := 0; blk < w; blk++ {
+			eq := peq[blk][c]
+			pvb, mvb := pv[blk], mv[blk]
+			xv := eq | mvb
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvb) + pvb) ^ pvb) | eq
+			ph := mvb | ^(xh | pvb)
+			mh := pvb & xh
+			if blk == w-1 {
+				if ph&scoreBit != 0 {
+					score++
+				} else if mh&scoreBit != 0 {
+					score--
+				}
+			}
+			hout := 0
+			if ph&(1<<(wordBits-1)) != 0 {
+				hout = 1
+			} else if mh&(1<<(wordBits-1)) != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin < 0 {
+				mh |= 1
+			} else if hin > 0 {
+				ph |= 1
+			}
+			pv[blk] = mh | ^(xv | ph)
+			mv[blk] = ph & xv
+			hin = hout
+		}
+		record(j + 1)
+	}
+	ops.Add(int64(w) * int64(maxEnd))
+	return out
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"mpcdist/internal/core"
+)
+
+func TestUlamRowCertifiesFactor(t *testing.T) {
+	row, err := UlamRow(300, 30, core.Params{X: 0.3, Eps: 1, Seed: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Factor < 1 || row.Factor > 2 {
+		t.Errorf("factor %v out of [1,2]", row.Factor)
+	}
+	if row.Rounds != 2 {
+		t.Errorf("rounds = %d", row.Rounds)
+	}
+	if len(row.Cells()) != len(Columns()) {
+		t.Errorf("cells/columns mismatch: %d vs %d", len(row.Cells()), len(Columns()))
+	}
+}
+
+func TestEditRowsComparable(t *testing.T) {
+	ours, hss, err := EditRows(500, 20, core.Params{X: 0.25, Eps: 0.5, Seed: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Value != hss.Value && (ours.Factor > 1.5 || hss.Factor > 1.5) {
+		t.Errorf("rows diverge beyond factor bounds: %+v vs %+v", ours, hss)
+	}
+	if hss.Machines <= ours.Machines {
+		t.Errorf("expected HSS to use more machines: %d vs %d", hss.Machines, ours.Machines)
+	}
+}
+
+func TestSweepAndSlopes(t *testing.T) {
+	pts, err := Sweep([]int{300, 600}, 0.5, core.Params{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	om, hm, _, _ := Slopes(pts)
+	if om <= 0 || hm <= 0 {
+		t.Errorf("slopes not positive: %v %v", om, hm)
+	}
+}
+
+func TestUlamScalingPoints(t *testing.T) {
+	pts, err := UlamScaling([]int{256, 512}, 0.5, core.Params{X: 0.3, Eps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].TotalOps <= pts[0].TotalOps {
+		t.Errorf("scaling points wrong: %+v", pts)
+	}
+}
+
+func TestAnalyticTable(t *testing.T) {
+	out := Analytic(100000, 0.25).String()
+	for _, want := range []string{"Ulam (Thm 4)", "Edit (Thm 9)", "Edit [20]", "Edit [11]", "n^0.45"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analytic table missing %q:\n%s", want, out)
+		}
+	}
+}

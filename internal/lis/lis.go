@@ -1,0 +1,116 @@
+// Package lis implements longest-increasing-subsequence computations and
+// the LCS of sequences with distinct characters, which reduce to LIS.
+//
+// In the paper's terminology, Ulam distance and LIS are dual problems: the
+// indel-only Ulam distance between two permutations of the same set equals
+// 2(n - LCS), and LCS of permutations is an LIS after relabeling. These
+// routines are the sequential substrate underneath the ulam package.
+package lis
+
+import "sort"
+
+// Length returns the length of the longest strictly increasing subsequence
+// of a in O(n log n) time via patience sorting.
+func Length(a []int) int {
+	tails := make([]int, 0, 16)
+	for _, v := range a {
+		i := sort.SearchInts(tails, v)
+		if i == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[i] = v
+		}
+	}
+	return len(tails)
+}
+
+// NonDecreasingLength returns the length of the longest non-decreasing
+// subsequence of a.
+func NonDecreasingLength(a []int) int {
+	tails := make([]int, 0, 16)
+	for _, v := range a {
+		// Insertion point after the run of equal values keeps ties.
+		i := sort.SearchInts(tails, v+1)
+		if i == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[i] = v
+		}
+	}
+	return len(tails)
+}
+
+// Indices returns the indices (in increasing order) of one longest strictly
+// increasing subsequence of a.
+func Indices(a []int) []int {
+	if len(a) == 0 {
+		return nil
+	}
+	tails := make([]int, 0, 16)   // tails[k] = value ending a length-k+1 pile
+	tailIdx := make([]int, 0, 16) // index in a of tails[k]
+	prev := make([]int, len(a))   // predecessor pointers
+	for i, v := range a {
+		j := sort.SearchInts(tails, v)
+		if j > 0 {
+			prev[i] = tailIdx[j-1]
+		} else {
+			prev[i] = -1
+		}
+		if j == len(tails) {
+			tails = append(tails, v)
+			tailIdx = append(tailIdx, i)
+		} else {
+			tails[j] = v
+			tailIdx[j] = i
+		}
+	}
+	out := make([]int, len(tails))
+	at := tailIdx[len(tailIdx)-1]
+	for k := len(out) - 1; k >= 0; k-- {
+		out[k] = at
+		at = prev[at]
+	}
+	return out
+}
+
+// LCSDistinct returns the length of the longest common subsequence of a and
+// b under the promise that the characters within each of a and b are
+// distinct. It runs in O((|a|+|b|) log) time: relabel each element of b by
+// its position in a (dropping characters absent from a) and take the LIS.
+func LCSDistinct(a, b []int) int {
+	pos := make(map[int]int, len(a))
+	for i, v := range a {
+		pos[v] = i
+	}
+	seq := make([]int, 0, len(b))
+	for _, v := range b {
+		if p, ok := pos[v]; ok {
+			seq = append(seq, p)
+		}
+	}
+	return Length(seq)
+}
+
+// CommonMatches returns, for sequences with distinct characters, the list of
+// match points (i, j) with a[i] == b[j], ordered by increasing j.
+func CommonMatches(a, b []int) (ai, bj []int) {
+	pos := make(map[int]int, len(a))
+	for i, v := range a {
+		pos[v] = i
+	}
+	for j, v := range b {
+		if i, ok := pos[v]; ok {
+			ai = append(ai, i)
+			bj = append(bj, j)
+		}
+	}
+	return ai, bj
+}
+
+// IndelUlam returns the insert/delete-only Ulam distance between sequences
+// with distinct characters: |a| + |b| - 2·LCS(a, b). This is the relaxed
+// notion (no substitutions) studied by Naumovitz et al.; the ulam package
+// computes the conventional (substitution-allowed) distance.
+func IndelUlam(a, b []int) int {
+	return len(a) + len(b) - 2*LCSDistinct(a, b)
+}

@@ -1,0 +1,286 @@
+// Package mpc simulates the massively parallel computation (MPC) model of
+// Karloff, Suri, and Vassilvitskii as used by the paper: a fleet of
+// machines, each with a hard memory cap of S words, computing in
+// synchronous rounds. Within a round a machine sees only its own input;
+// between rounds machines exchange messages, and no machine may receive (or
+// hold) more than S words.
+//
+// The simulator enforces the memory cap, counts the model quantities the
+// paper's Table 1 is stated in — rounds, machines, per-machine memory,
+// total computation, and critical-path ("parallel") computation — and runs
+// machines concurrently on the host's cores.
+//
+// Randomness: machines can draw from a per-machine stream or from a shared
+// stream ("a random variable with a common seed between machines",
+// Algorithm 6 line 9); both are deterministic given Config.Seed, so
+// simulations are reproducible regardless of goroutine scheduling.
+package mpc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mpcdist/internal/stats"
+)
+
+// Payload is any unit of data shipped between machines. Words reports its
+// memory footprint in machine words; the simulator uses it to enforce the
+// per-machine cap.
+type Payload interface {
+	Words() int
+}
+
+// Message is a payload addressed to a machine for the next round.
+type Message struct {
+	To   int
+	Data Payload
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// MachineWords is the per-machine memory cap S in words. Zero means
+	// unlimited (useful in unit tests of the algorithms themselves).
+	MachineWords int
+	// MaxMachines optionally caps the number of distinct machines usable in
+	// a round; zero means unlimited.
+	MaxMachines int
+	// Parallelism bounds the number of simulated machines executing
+	// concurrently; zero means GOMAXPROCS.
+	Parallelism int
+	// Seed feeds both the shared and the per-machine random streams.
+	Seed int64
+}
+
+// RoundStats records the measured model quantities of one round.
+type RoundStats struct {
+	Name          string
+	Machines      int           // distinct machines that received input
+	MaxInWords    int           // max words resident on a machine (input)
+	MaxOutWords   int           // max words emitted by a machine
+	TotalOps      int64         // sum of ops over machines
+	MaxMachineOps int64         // max ops on one machine ("parallel time")
+	CommWords     int64         // words shipped between machines after the round
+	Elapsed       time.Duration // wall time of the simulated round
+}
+
+// Report aggregates a cluster's history in the shape of a Table 1 row.
+type Report struct {
+	Rounds      []RoundStats
+	NumRounds   int
+	MaxMachines int   // max machines used in any round
+	MaxWords    int   // max per-machine memory observed in any round
+	TotalOps    int64 // total computation across all rounds and machines
+	CriticalOps int64 // sum over rounds of the max per-machine ops
+	CommWords   int64 // total communication volume (words) across rounds
+}
+
+// String renders the report as a single summary line.
+func (r Report) String() string {
+	return fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d",
+		r.NumRounds, r.MaxMachines, r.MaxWords, r.TotalOps, r.CriticalOps, r.CommWords)
+}
+
+// Cluster is a simulated MPC deployment. The zero value is not usable;
+// construct with NewCluster.
+type Cluster struct {
+	cfg    Config
+	rounds []RoundStats
+}
+
+// NewCluster returns a cluster with the given configuration.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Report returns the aggregated statistics of all rounds run so far.
+func (c *Cluster) Report() Report {
+	rep := Report{Rounds: append([]RoundStats(nil), c.rounds...)}
+	rep.NumRounds = len(c.rounds)
+	for _, r := range c.rounds {
+		if r.Machines > rep.MaxMachines {
+			rep.MaxMachines = r.Machines
+		}
+		w := r.MaxInWords
+		if r.MaxOutWords > w {
+			w = r.MaxOutWords
+		}
+		if w > rep.MaxWords {
+			rep.MaxWords = w
+		}
+		rep.TotalOps += r.TotalOps
+		rep.CriticalOps += r.MaxMachineOps
+		rep.CommWords += r.CommWords
+	}
+	return rep
+}
+
+// Reset clears the round history but keeps the configuration.
+func (c *Cluster) Reset() { c.rounds = nil }
+
+// Ctx is the view a machine has of the world during one round: its
+// identity, its random streams, an operation counter, and an outbox.
+type Ctx struct {
+	Machine int
+	Round   int
+
+	cluster *Cluster
+	ops     stats.Ops
+	out     []Message
+	rng     *rand.Rand
+}
+
+// Counter returns the machine's operation counter, suitable for passing to
+// the sequential kernels in editdist/ulam/approx.
+func (x *Ctx) Counter() *stats.Ops { return &x.ops }
+
+// Ops charges n elementary operations to the machine.
+func (x *Ctx) Ops(n int64) { x.ops.Add(n) }
+
+// Send emits a message for delivery at the start of the next round.
+func (x *Ctx) Send(to int, data Payload) {
+	x.out = append(x.out, Message{To: to, Data: data})
+}
+
+// Rand returns the machine's private random stream, deterministic in
+// (seed, round, machine).
+func (x *Ctx) Rand() *rand.Rand {
+	if x.rng == nil {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "machine|%d|%d|%d", x.cluster.cfg.Seed, x.Round, x.Machine)
+		x.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	return x.rng
+}
+
+// SharedRand returns a random stream that is identical on every machine for
+// a given tag — the "common seed" device of Algorithm 6. Each call returns
+// a fresh stream positioned at the start.
+func (x *Ctx) SharedRand(tag string) *rand.Rand {
+	return x.cluster.SharedRand(x.Round, tag)
+}
+
+// SharedRand is the driver-side accessor for the same stream machines see
+// through Ctx.SharedRand.
+func (c *Cluster) SharedRand(round int, tag string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "shared|%d|%d|%s", c.cfg.Seed, round, tag)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// MachineFunc is the program a machine executes during a round: it reads
+// its input payloads and sends messages through the context.
+type MachineFunc func(x *Ctx, in []Payload)
+
+// MemoryError reports a violation of the MPC memory or machine-count
+// limits.
+type MemoryError struct {
+	Round   string
+	Machine int
+	Words   int
+	Limit   int
+	Kind    string // "input", "output", or "machines"
+}
+
+func (e *MemoryError) Error() string {
+	if e.Kind == "machines" {
+		return fmt.Sprintf("mpc: round %q uses %d machines, limit %d", e.Round, e.Words, e.Limit)
+	}
+	return fmt.Sprintf("mpc: round %q machine %d %s holds %d words, limit %d",
+		e.Round, e.Machine, e.Kind, e.Words, e.Limit)
+}
+
+// PayloadWords sums the footprint of a payload slice.
+func PayloadWords(in []Payload) int {
+	w := 0
+	for _, p := range in {
+		w += p.Words()
+	}
+	return w
+}
+
+// Run executes one synchronous round: every machine with input runs fn
+// concurrently, and the emitted messages are grouped by destination into
+// the next round's inputs (returned sorted by machine id for determinism).
+// It enforces the per-machine memory cap on inputs and outputs and the
+// machine-count cap, returning a *MemoryError on violation.
+func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (map[int][]Payload, error) {
+	round := len(c.rounds)
+	st := RoundStats{Name: name, Machines: len(inputs)}
+	if c.cfg.MaxMachines > 0 && len(inputs) > c.cfg.MaxMachines {
+		return nil, &MemoryError{Round: name, Words: len(inputs), Limit: c.cfg.MaxMachines, Kind: "machines"}
+	}
+
+	ids := make([]int, 0, len(inputs))
+	for id := range inputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Pre-check input residency.
+	for _, id := range ids {
+		w := PayloadWords(inputs[id])
+		if w > st.MaxInWords {
+			st.MaxInWords = w
+		}
+		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords {
+			return nil, &MemoryError{Round: name, Machine: id, Words: w, Limit: c.cfg.MachineWords, Kind: "input"}
+		}
+	}
+
+	ctxs := make([]*Ctx, len(ids))
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Parallelism)
+	for k, id := range ids {
+		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c}
+		wg.Add(1)
+		go func(x *Ctx, in []Payload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(x, in)
+		}(ctxs[k], inputs[id])
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+
+	next := make(map[int][]Payload)
+	var firstErr error
+	for _, x := range ctxs {
+		ops := x.ops.Count()
+		st.TotalOps += ops
+		if ops > st.MaxMachineOps {
+			st.MaxMachineOps = ops
+		}
+		w := 0
+		for _, m := range x.out {
+			w += m.Data.Words()
+		}
+		st.CommWords += int64(w)
+		if w > st.MaxOutWords {
+			st.MaxOutWords = w
+		}
+		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords && firstErr == nil {
+			firstErr = &MemoryError{Round: name, Machine: x.Machine, Words: w, Limit: c.cfg.MachineWords, Kind: "output"}
+		}
+		for _, m := range x.out {
+			next[m.To] = append(next[m.To], m.Data)
+		}
+	}
+	c.rounds = append(c.rounds, st)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return next, nil
+}

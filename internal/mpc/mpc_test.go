@@ -1,0 +1,282 @@
+package mpc
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestRunSingleRoundRouting(t *testing.T) {
+	c := NewCluster(Config{MachineWords: 100})
+	in := map[int][]Payload{
+		0: {Ints{1, 2, 3}},
+		1: {Ints{4, 5}},
+	}
+	out, err := c.Run("echo", in, func(x *Ctx, in []Payload) {
+		for _, p := range in {
+			for _, v := range p.(Ints) {
+				x.Send(v%2, Int(v))
+			}
+		}
+		x.Ops(int64(len(in)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evens, odds []int
+	for _, p := range out[0] {
+		evens = append(evens, int(p.(Int)))
+	}
+	for _, p := range out[1] {
+		odds = append(odds, int(p.(Int)))
+	}
+	sort.Ints(evens)
+	sort.Ints(odds)
+	if len(evens) != 2 || evens[0] != 2 || evens[1] != 4 {
+		t.Errorf("evens = %v", evens)
+	}
+	if len(odds) != 3 || odds[0] != 1 || odds[2] != 5 {
+		t.Errorf("odds = %v", odds)
+	}
+	rep := c.Report()
+	if rep.NumRounds != 1 || rep.MaxMachines != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.TotalOps != 2 {
+		t.Errorf("total ops = %d, want 2", rep.TotalOps)
+	}
+}
+
+func TestInputMemoryViolation(t *testing.T) {
+	c := NewCluster(Config{MachineWords: 3})
+	in := map[int][]Payload{0: {Ints{1, 2, 3}}} // 4 words > 3
+	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {})
+	var me *MemoryError
+	if !errors.As(err, &me) || me.Kind != "input" {
+		t.Fatalf("want input MemoryError, got %v", err)
+	}
+}
+
+func TestOutputMemoryViolation(t *testing.T) {
+	c := NewCluster(Config{MachineWords: 4})
+	in := map[int][]Payload{0: {Int(1)}}
+	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {
+		x.Send(1, Ints{1, 2, 3, 4, 5})
+	})
+	var me *MemoryError
+	if !errors.As(err, &me) || me.Kind != "output" {
+		t.Fatalf("want output MemoryError, got %v", err)
+	}
+}
+
+func TestMachineCountViolation(t *testing.T) {
+	c := NewCluster(Config{MaxMachines: 2})
+	in := map[int][]Payload{0: {Int(0)}, 1: {Int(1)}, 2: {Int(2)}}
+	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {})
+	var me *MemoryError
+	if !errors.As(err, &me) || me.Kind != "machines" {
+		t.Fatalf("want machines MemoryError, got %v", err)
+	}
+}
+
+func TestDeterministicRouting(t *testing.T) {
+	run := func() []int {
+		c := NewCluster(Config{Seed: 42, Parallelism: 4})
+		in := map[int][]Payload{}
+		for id := 0; id < 16; id++ {
+			in[id] = []Payload{Int(id)}
+		}
+		out, err := c.Run("scatter", in, func(x *Ctx, in []Payload) {
+			r := x.Rand()
+			for i := 0; i < 4; i++ {
+				x.Send(0, Int(r.Intn(1000)))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for _, p := range out[0] {
+			got = append(got, int(p.(Int)))
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 64 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSharedRandCommonAcrossMachines(t *testing.T) {
+	c := NewCluster(Config{Seed: 7})
+	in := map[int][]Payload{0: {Int(0)}, 5: {Int(5)}, 9: {Int(9)}}
+	out, err := c.Run("shared", in, func(x *Ctx, in []Payload) {
+		x.Send(0, Int(x.SharedRand("L").Intn(1<<30)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 3 {
+		t.Fatalf("want 3 messages, got %d", len(out[0]))
+	}
+	v0 := int(out[0][0].(Int))
+	for _, p := range out[0][1:] {
+		if int(p.(Int)) != v0 {
+			t.Fatalf("shared rand differs across machines: %v", out[0])
+		}
+	}
+	// Driver sees the same stream.
+	if got := c.SharedRand(0, "L").Intn(1 << 30); got != v0 {
+		t.Errorf("driver shared rand %d != machine %d", got, v0)
+	}
+	// A different tag gives a different stream (overwhelmingly likely).
+	if got := c.SharedRand(0, "M").Intn(1 << 30); got == v0 {
+		t.Errorf("tag M collided with tag L")
+	}
+}
+
+func TestMultiRoundReport(t *testing.T) {
+	c := NewCluster(Config{MachineWords: 1000})
+	in := map[int][]Payload{0: {Ints{1, 2, 3, 4}}}
+	mid, err := c.Run("one", in, func(x *Ctx, in []Payload) {
+		x.Ops(10)
+		for _, p := range in {
+			for i, v := range p.(Ints) {
+				x.Send(i, Int(v))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run("two", mid, func(x *Ctx, in []Payload) { x.Ops(3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	if rep.NumRounds != 2 {
+		t.Fatalf("rounds = %d", rep.NumRounds)
+	}
+	if rep.MaxMachines != 4 {
+		t.Errorf("machines = %d, want 4", rep.MaxMachines)
+	}
+	if rep.TotalOps != 10+3*4 {
+		t.Errorf("total ops = %d, want 22", rep.TotalOps)
+	}
+	if rep.CriticalOps != 10+3 {
+		t.Errorf("critical ops = %d, want 13", rep.CriticalOps)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+	c.Reset()
+	if c.Report().NumRounds != 0 {
+		t.Error("Reset did not clear rounds")
+	}
+}
+
+func TestPayloadWordsAndTypes(t *testing.T) {
+	if (Ints{1, 2, 3}).Words() != 4 {
+		t.Error("Ints.Words")
+	}
+	if (Bytes("abcdefgh")).Words() != 2 {
+		t.Error("Bytes.Words full word")
+	}
+	if (Bytes("abcdefghi")).Words() != 3 {
+		t.Error("Bytes.Words partial word")
+	}
+	if Int(9).Words() != 1 {
+		t.Error("Int.Words")
+	}
+	if got := PayloadWords([]Payload{Int(1), Ints{1}, Bytes("x")}); got != 1+2+2 {
+		t.Errorf("PayloadWords = %d", got)
+	}
+}
+
+func TestBinPack(t *testing.T) {
+	bins := BinPack([]int{3, 3, 3, 10, 1, 1}, 6)
+	want := [][]int{{0, 1}, {2}, {3}, {4, 5}}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v", bins)
+	}
+	for i := range want {
+		if len(bins[i]) != len(want[i]) {
+			t.Fatalf("bin %d = %v, want %v", i, bins[i], want[i])
+		}
+		for j := range want[i] {
+			if bins[i][j] != want[i][j] {
+				t.Fatalf("bin %d = %v, want %v", i, bins[i], want[i])
+			}
+		}
+	}
+	if BinPack(nil, 5) != nil {
+		t.Error("BinPack(nil) != nil")
+	}
+	// Zero capacity = one bin with everything.
+	if got := BinPack([]int{1, 2}, 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("BinPack cap=0 = %v", got)
+	}
+}
+
+func TestCommWordsAccounting(t *testing.T) {
+	c := NewCluster(Config{})
+	in := map[int][]Payload{0: {Int(1)}, 1: {Int(2)}}
+	_, err := c.Run("comm", in, func(x *Ctx, in []Payload) {
+		x.Send(0, Ints{1, 2, 3}) // 4 words
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	if rep.CommWords != 8 {
+		t.Errorf("CommWords = %d, want 8 (two machines x 4 words)", rep.CommWords)
+	}
+	if rep.Rounds[0].CommWords != 8 {
+		t.Errorf("round CommWords = %d", rep.Rounds[0].CommWords)
+	}
+}
+
+func TestParallelismEquivalence(t *testing.T) {
+	// Simulation results must not depend on how many machines execute
+	// concurrently.
+	run := func(par int) (int64, []int) {
+		c := NewCluster(Config{Seed: 5, Parallelism: par})
+		in := map[int][]Payload{}
+		for id := 0; id < 24; id++ {
+			in[id] = []Payload{Int(id)}
+		}
+		out, err := c.Run("r", in, func(x *Ctx, in []Payload) {
+			r := x.Rand()
+			x.Ops(int64(r.Intn(50)))
+			x.Send(int(in[0].(Int))%3, Int(r.Intn(100)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []int
+		for dst := 0; dst < 3; dst++ {
+			for _, p := range out[dst] {
+				vals = append(vals, int(p.(Int)))
+			}
+		}
+		return c.Report().TotalOps, vals
+	}
+	ops1, v1 := run(1)
+	ops8, v8 := run(8)
+	if ops1 != ops8 {
+		t.Errorf("ops differ across parallelism: %d vs %d", ops1, ops8)
+	}
+	if len(v1) != len(v8) {
+		t.Fatalf("output counts differ")
+	}
+	for i := range v1 {
+		if v1[i] != v8[i] {
+			t.Fatalf("outputs differ at %d: %d vs %d", i, v1[i], v8[i])
+		}
+	}
+}

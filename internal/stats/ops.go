@@ -1,0 +1,39 @@
+// Package stats provides operation counters and table-formatting helpers
+// used by the benchmark harness to report measured model quantities
+// (machines, memory, work) in the shape of the paper's Table 1.
+package stats
+
+import "sync/atomic"
+
+// Ops counts elementary operations (DP cell evaluations, comparisons)
+// performed by a kernel. A nil *Ops is valid everywhere and counts nothing,
+// so hot paths can skip instrumentation without branching at call sites.
+//
+// The counter is safe for concurrent use: simulated MPC machines run on
+// separate goroutines and may share one Ops.
+type Ops struct {
+	n atomic.Int64
+}
+
+// Add records n additional operations. Safe on a nil receiver.
+func (o *Ops) Add(n int64) {
+	if o != nil {
+		o.n.Add(n)
+	}
+}
+
+// Count returns the number of operations recorded so far.
+// Safe on a nil receiver (returns 0).
+func (o *Ops) Count() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.n.Load()
+}
+
+// Reset zeroes the counter. Safe on a nil receiver.
+func (o *Ops) Reset() {
+	if o != nil {
+		o.n.Store(0)
+	}
+}

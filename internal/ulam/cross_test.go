@@ -1,0 +1,69 @@
+package ulam
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDPCrossover(b *testing.B) {
+	for _, m := range []int{32, 64, 128, 256, 512, 1024} {
+		rng := rand.New(rand.NewSource(int64(m)))
+		x := rng.Perm(m)
+		y := rng.Perm(m)
+		b.Run(fmt.Sprintf("cdq/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts := buildPoints(x, y, false)
+				runDP(pts, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("quad/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts := buildPoints(x, y, false)
+				exactQuadratic(pts, nil)
+			}
+		})
+	}
+}
+
+// TestCDQPathForcedAgainstQuadratic pins the CDQ branch (bypassing the
+// small-input cutoff) against the quadratic reference on many sizes.
+func TestCDQPathForcedAgainstQuadratic(t *testing.T) {
+	old := QuadCutoff
+	QuadCutoff = 0
+	defer func() { QuadCutoff = old }()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		u := 10 + rng.Intn(80)
+		a := rng.Perm(u)[:rng.Intn(u)]
+		b := rng.Perm(u)[:rng.Intn(u)]
+		if got, want := Exact(a, b, nil), ExactQuadratic(a, b, nil); got != want {
+			t.Fatalf("forced CDQ %d != quadratic %d (a=%v b=%v)", got, want, a, b)
+		}
+		if len(a) == 0 {
+			continue
+		}
+		wantD, _ := LocalQuadratic(a, b, nil)
+		gotD, gotW := Local(a, b, nil)
+		if gotD != wantD {
+			t.Fatalf("forced CDQ Local %d != quadratic %d", gotD, wantD)
+		}
+		// Ties may pick different optimal windows; the returned one must
+		// still attain the distance.
+		if gotW.Len() > 0 {
+			if dd := Exact(a, b[gotW.Gamma:gotW.Kappa+1], nil); dd != gotD {
+				t.Fatalf("CDQ window %v attains %d, reported %d", gotW, dd, gotD)
+			}
+		}
+	}
+}
+
+// TestCDQPathLargeStillUsed ensures sizes above the cutoff exercise CDQ.
+func TestCDQPathLargeStillUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	a := rng.Perm(1200)
+	b := rng.Perm(1200)
+	if got, want := Exact(a, b, nil), ExactQuadratic(a, b, nil); got != want {
+		t.Fatalf("large CDQ %d != quadratic %d", got, want)
+	}
+}

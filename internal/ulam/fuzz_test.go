@@ -1,0 +1,72 @@
+package ulam
+
+import (
+	"testing"
+
+	"mpcdist/internal/editdist"
+)
+
+// distinctFromBytes deterministically turns fuzz bytes into two
+// distinct-character sequences: character identities come from positions
+// in a shared shuffle driven by the input bytes.
+func distinctFromBytes(data []byte) (a, b []int) {
+	seen := map[int]bool{}
+	for i, c := range data {
+		v := int(c)
+		if i%2 == 0 {
+			if !seen[v] {
+				seen[v] = true
+				a = append(a, v)
+			}
+		}
+	}
+	seenB := map[int]bool{}
+	for i, c := range data {
+		v := int(c)
+		if i%2 == 1 {
+			if !seenB[v] {
+				seenB[v] = true
+				b = append(b, v)
+			}
+		}
+	}
+	return a, b
+}
+
+func FuzzUlamAgreesWithEditDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte("interleaved characters drive both sequences"))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 160 {
+			data = data[:160]
+		}
+		a, b := distinctFromBytes(data)
+		want := editdist.Distance(a, b, nil)
+		if got := Exact(a, b, nil); got != want {
+			t.Fatalf("Exact = %d, want %d (a=%v b=%v)", got, want, a, b)
+		}
+		if got := ExactQuadratic(a, b, nil); got != want {
+			t.Fatalf("ExactQuadratic = %d, want %d", got, want)
+		}
+		script := Script(a, b, nil)
+		if err := editdist.Validate(a, b, script); err != nil {
+			t.Fatalf("script invalid: %v", err)
+		}
+		if editdist.Cost(script) != want {
+			t.Fatalf("script cost %d, want %d", editdist.Cost(script), want)
+		}
+		// Local <= distance to any window, and windows attain their value.
+		if len(a) > 0 {
+			d, win := Local(a, b, nil)
+			if d > len(a) {
+				t.Fatalf("Local %d > |block| %d", d, len(a))
+			}
+			if win.Len() > 0 {
+				if dd := Exact(a, b[win.Gamma:win.Kappa+1], nil); dd != d {
+					t.Fatalf("window distance %d != reported %d", dd, d)
+				}
+			}
+		}
+	})
+}

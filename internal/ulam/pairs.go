@@ -1,0 +1,99 @@
+package ulam
+
+import "mpcdist/internal/stats"
+
+// Pair records that block character at block-relative position P occurs at
+// position Q in sbar. Since sbar has no repeated characters, these pairs
+// are the only information about sbar a machine needs (Section 3.1): both
+// the local Ulam distance and the Ulam distance between the block and any
+// window of sbar are functions of the pairs alone.
+type Pair struct {
+	P, Q int
+}
+
+// PairsOf lists the (block position, sbar position) pairs for characters of
+// block that occur in sbar, ordered by increasing P.
+func PairsOf(block, sbar []int) []Pair {
+	pos := make(map[int]int, len(sbar))
+	for q, v := range sbar {
+		pos[v] = q
+	}
+	var out []Pair
+	for p, v := range block {
+		if q, ok := pos[v]; ok {
+			out = append(out, Pair{P: p, Q: q})
+		}
+	}
+	return out
+}
+
+// pointsFromPairs builds DP points for ulam(block, sbar[sp..ep]) from the
+// subset of pairs whose sbar position lies in the window.
+func pointsFromPairs(blockLen int, pairs []Pair, sp, ep int, local bool) []point {
+	winLen := ep - sp + 1
+	if winLen < 0 {
+		winLen = 0
+	}
+	pts := make([]point, 0, len(pairs)+2)
+	start := point{i: -1, j: -1, diag: 0, parent: -1}
+	end := point{i: blockLen, j: winLen, diag: int64(blockLen - winLen), parent: -1}
+	if local {
+		start.diag = -diagInf
+		end.diag = diagInf
+	}
+	pts = append(pts, start)
+	for _, pr := range pairs {
+		if pr.Q >= sp && pr.Q <= ep {
+			j := pr.Q - sp
+			pts = append(pts, point{i: pr.P, j: j, diag: int64(pr.P - j)})
+		}
+	}
+	pts = append(pts, end)
+	for k := range pts {
+		pts[k].d = costInf
+		pts[k].parent = -1
+	}
+	pts[0].d = 0
+	return pts
+}
+
+// WindowDist returns ulam(block, sbar[sp..ep]) given only the block length
+// and the match pairs; sp > ep denotes the empty window (distance
+// blockLen). Equivalent to Exact(block, sbar[sp:ep+1]) but without access
+// to the strings.
+func WindowDist(blockLen int, pairs []Pair, sp, ep int, ops *stats.Ops) int {
+	if sp > ep {
+		return blockLen
+	}
+	pts := pointsFromPairs(blockLen, pairs, sp, ep, false)
+	runDP(pts, ops)
+	return int(pts[len(pts)-1].d)
+}
+
+// LocalPairs returns the local Ulam distance of the block against all of
+// sbar (length sbarLen) given only the match pairs, together with a window
+// attaining it. Equivalent to Local(block, sbar) without the strings.
+func LocalPairs(blockLen int, pairs []Pair, sbarLen int, ops *stats.Ops) (int, Window) {
+	pts := pointsFromPairs(blockLen, pairs, 0, sbarLen-1, true)
+	runDP(pts, ops)
+	end := &pts[len(pts)-1]
+	d := int(end.d)
+	path := make([]int, 0, 8)
+	for at := end.parent; at > 0; at = pts[at].parent {
+		path = append(path, int(at))
+	}
+	if len(path) == 0 {
+		return d, Window{Gamma: 0, Kappa: -1}
+	}
+	first := pts[path[len(path)-1]]
+	last := pts[path[0]]
+	gamma := first.j - first.i
+	if gamma < 0 {
+		gamma = 0
+	}
+	kappa := last.j + (blockLen - 1 - last.i)
+	if kappa > sbarLen-1 {
+		kappa = sbarLen - 1
+	}
+	return d, Window{Gamma: gamma, Kappa: kappa}
+}

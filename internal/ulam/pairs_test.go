@@ -1,0 +1,63 @@
+package ulam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowDistMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		u := 30
+		block := randDistinct(rng, 1+rng.Intn(10), u)
+		sbar := randDistinct(rng, 1+rng.Intn(20), u)
+		pairs := PairsOf(block, sbar)
+		sp := rng.Intn(len(sbar))
+		ep := sp + rng.Intn(len(sbar)-sp)
+		want := Exact(block, sbar[sp:ep+1], nil)
+		if got := WindowDist(len(block), pairs, sp, ep, nil); got != want {
+			t.Fatalf("WindowDist(%v, sbar=%v, [%d,%d]) = %d, want %d",
+				block, sbar, sp, ep, got, want)
+		}
+	}
+}
+
+func TestWindowDistEmptyWindow(t *testing.T) {
+	if got := WindowDist(3, nil, 5, 4, nil); got != 3 {
+		t.Errorf("empty window dist = %d, want 3", got)
+	}
+}
+
+func TestLocalPairsMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 200; trial++ {
+		u := 30
+		block := randDistinct(rng, 1+rng.Intn(10), u)
+		sbar := randDistinct(rng, rng.Intn(20), u)
+		wantD, wantW := Local(block, sbar, nil)
+		gotD, gotW := LocalPairs(len(block), PairsOf(block, sbar), len(sbar), nil)
+		if gotD != wantD {
+			t.Fatalf("LocalPairs = %d, want %d (block=%v sbar=%v)", gotD, wantD, block, sbar)
+		}
+		if gotW != wantW {
+			t.Fatalf("LocalPairs window = %+v, want %+v", gotW, wantW)
+		}
+	}
+}
+
+func TestPairsOfOrderedByP(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	block := randDistinct(rng, 12, 40)
+	sbar := randDistinct(rng, 25, 40)
+	pairs := PairsOf(block, sbar)
+	for k := 1; k < len(pairs); k++ {
+		if pairs[k].P <= pairs[k-1].P {
+			t.Fatalf("pairs not ordered by P: %v", pairs)
+		}
+	}
+	for _, pr := range pairs {
+		if block[pr.P] != sbar[pr.Q] {
+			t.Fatalf("pair %+v does not match", pr)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package ulam
+
+import (
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/stats"
+)
+
+// Script returns an optimal Ulam transformation of a into b as an edit
+// script. Both inputs must have distinct characters. The script realizes
+// the match-point structure of the DP: the kept characters form an
+// increasing matching, and each gap holding p characters of a and q of b
+// spends min(p, q) substitutions plus |p-q| insertions or deletions —
+// exactly max(p, q) operations, so Cost(Script(a, b)) == Exact(a, b).
+func Script(a, b []int, ops *stats.Ops) []editdist.Op {
+	pts := buildPoints(a, b, false)
+	runDP(pts, ops)
+	end := &pts[len(pts)-1]
+
+	// Reconstruct the match chain from the virtual end back to the start.
+	var chainIdx []int
+	for at := end.parent; at > 0; at = pts[at].parent {
+		chainIdx = append(chainIdx, int(at))
+	}
+	// Reverse into increasing order.
+	for l, r := 0, len(chainIdx)-1; l < r; l, r = l+1, r-1 {
+		chainIdx[l], chainIdx[r] = chainIdx[r], chainIdx[l]
+	}
+
+	out := make([]editdist.Op, 0, len(a)+len(b))
+	prevI, prevJ := -1, -1
+	emitGap := func(i, j int) {
+		ai, bi := prevI+1, prevJ+1
+		for ai < i && bi < j {
+			out = append(out, editdist.Op{Kind: editdist.Substitute, APos: ai, BPos: bi})
+			ai++
+			bi++
+		}
+		for ai < i {
+			out = append(out, editdist.Op{Kind: editdist.Delete, APos: ai, BPos: bi})
+			ai++
+		}
+		for bi < j {
+			out = append(out, editdist.Op{Kind: editdist.Insert, APos: ai, BPos: bi})
+			bi++
+		}
+	}
+	for _, k := range chainIdx {
+		pt := pts[k]
+		emitGap(pt.i, pt.j)
+		out = append(out, editdist.Op{Kind: editdist.Match, APos: pt.i, BPos: pt.j})
+		prevI, prevJ = pt.i, pt.j
+	}
+	emitGap(len(a), len(b))
+	return out
+}

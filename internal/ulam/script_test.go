@@ -1,0 +1,73 @@
+package ulam
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/editdist"
+)
+
+func TestScriptOptimalAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 200; trial++ {
+		u := 40
+		a := randDistinct(rng, rng.Intn(20), u)
+		b := randDistinct(rng, rng.Intn(20), u)
+		script := Script(a, b, nil)
+		if err := editdist.Validate(a, b, script); err != nil {
+			t.Fatalf("invalid script for %v -> %v: %v", a, b, err)
+		}
+		if got, want := editdist.Cost(script), Exact(a, b, nil); got != want {
+			t.Fatalf("script cost %d, want %d (a=%v b=%v)", got, want, a, b)
+		}
+	}
+}
+
+func TestScriptMatchesAreEqualChars(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	a := randDistinct(rng, 30, 60)
+	b := randDistinct(rng, 30, 60)
+	for _, op := range Script(a, b, nil) {
+		if op.Kind == editdist.Match && a[op.APos] != b[op.BPos] {
+			t.Fatalf("match op at (%d,%d) joins unequal chars", op.APos, op.BPos)
+		}
+	}
+}
+
+func TestScriptIdentity(t *testing.T) {
+	a := []int{5, 3, 9}
+	script := Script(a, a, nil)
+	if editdist.Cost(script) != 0 {
+		t.Errorf("identity script has cost %d", editdist.Cost(script))
+	}
+	if len(script) != 3 {
+		t.Errorf("identity script has %d ops, want 3 matches", len(script))
+	}
+}
+
+func TestScriptEmpty(t *testing.T) {
+	script := Script(nil, []int{1, 2}, nil)
+	if editdist.Cost(script) != 2 {
+		t.Errorf("empty->2: cost %d", editdist.Cost(script))
+	}
+	if err := editdist.Validate(nil, []int{1, 2}, script); err != nil {
+		t.Error(err)
+	}
+	script = Script([]int{1, 2}, nil, nil)
+	if editdist.Cost(script) != 2 {
+		t.Errorf("2->empty: cost %d", editdist.Cost(script))
+	}
+}
+
+func TestScriptLargerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	a := rng.Perm(400)
+	b := rng.Perm(400)
+	script := Script(a, b, nil)
+	if err := editdist.Validate(a, b, script); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := editdist.Cost(script), Exact(a, b, nil); got != want {
+		t.Fatalf("cost %d != exact %d", got, want)
+	}
+}

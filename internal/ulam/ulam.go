@@ -1,0 +1,178 @@
+// Package ulam computes the Ulam distance — edit distance between strings
+// without repeated characters, substitutions allowed — and the local Ulam
+// distance used by the first round of the paper's MPC algorithm.
+//
+// The key structural fact (used throughout): in any optimal transformation
+// of a into b, the unedited characters form a matching that is increasing
+// in both strings, and between two consecutive matched pairs a gap holding
+// p characters of a and q characters of b costs exactly max(p, q)
+// (substitute min(p, q) of them, insert/delete the rest). Hence
+//
+//	ulam(a, b) = min over increasing matchings M of the summed gap costs,
+//
+// a dynamic program over the match points (i, j) with a[i] == b[j]. With
+// distinct characters there are at most min(|a|, |b|) match points, and the
+// DP runs in O(m log^2 m) with a divide-and-conquer Fenwick scheme
+// (Exact / Local), or O(m^2) in the transparent reference implementation
+// (exactQuadratic) that the fast path is property-tested against.
+package ulam
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcdist/internal/stats"
+)
+
+// CheckDistinct returns an error when s contains a repeated character.
+// The Ulam routines require distinct characters within each input string.
+func CheckDistinct(s []int) error {
+	seen := make(map[int]int, len(s))
+	for i, v := range s {
+		if j, ok := seen[v]; ok {
+			return fmt.Errorf("ulam: character %d repeats at positions %d and %d", v, j, i)
+		}
+		seen[v] = i
+	}
+	return nil
+}
+
+// point is a match point of the DP, including the two virtual endpoints.
+type point struct {
+	i, j   int   // coordinates; virtual start is (-1, -1), end is (|a|, |b|)
+	diag   int64 // case-splitting key (see dp.go); sentinels for Local
+	d      int64 // best cost of an alignment prefix ending at this match
+	parent int32 // index of the predecessor realizing d, -1 if none
+}
+
+const diagInf = int64(1) << 40
+
+// matchPoints lists the (i, j) pairs with a[i] == b[j], in increasing i
+// (and, per distinctness, each i and each j appears at most once).
+func matchPoints(a, b []int) []point {
+	pos := make(map[int]int, len(b))
+	for j, v := range b {
+		pos[v] = j
+	}
+	pts := make([]point, 0, 16)
+	for i, v := range a {
+		if j, ok := pos[v]; ok {
+			pts = append(pts, point{i: i, j: j, diag: int64(i - j)})
+		}
+	}
+	return pts
+}
+
+// Exact returns the Ulam distance between a and b, which must each consist
+// of distinct characters (they may share any subset of characters). ops is
+// charged one unit per DP transition examined.
+func Exact(a, b []int, ops *stats.Ops) int {
+	pts := buildPoints(a, b, false)
+	runDP(pts, ops)
+	return int(pts[len(pts)-1].d)
+}
+
+// Window is a substring [Gamma, Kappa] of the second string (inclusive,
+// 0-based). An empty window has Kappa = Gamma-1.
+type Window struct {
+	Gamma, Kappa int
+}
+
+// Len returns the number of characters in the window.
+func (w Window) Len() int { return w.Kappa - w.Gamma + 1 }
+
+// Local returns the local Ulam distance between block and sbar: the minimum
+// Ulam distance between block and any (possibly empty) substring of sbar,
+// together with a substring attaining it. Both inputs must have distinct
+// characters. This is the lulam routine of Algorithm 1.
+//
+// Derivation (the paper's Appendix A is not part of the supplied text): an
+// optimal local window may be assumed to begin and end at matched
+// characters — trimming an unmatched boundary character of sbar never
+// increases the cost — except for the zero-match window, whose optimum is
+// the empty substring at cost |block|. So the same match-point DP applies
+// with boundary costs charged only on the block side.
+func Local(block, sbar []int, ops *stats.Ops) (int, Window) {
+	pts := buildPoints(block, sbar, true)
+	runDP(pts, ops)
+	end := &pts[len(pts)-1]
+	d := int(end.d)
+
+	// Reconstruct the matched span to produce a concrete window.
+	path := make([]int, 0, 8)
+	for at := end.parent; at > 0; at = pts[at].parent {
+		path = append(path, int(at))
+	}
+	if len(path) == 0 {
+		// No real match used: the empty window.
+		return d, Window{Gamma: 0, Kappa: -1}
+	}
+	first := pts[path[len(path)-1]]
+	last := pts[path[0]]
+	// Absorb boundary characters of sbar up to the block-side gap sizes;
+	// this keeps the window's distance equal to d (cost is the max of the
+	// two gap sides and the block side is the larger by construction).
+	gamma := first.j - first.i
+	if gamma < 0 {
+		gamma = 0
+	}
+	kappa := last.j + (len(block) - 1 - last.i)
+	if kappa > len(sbar)-1 {
+		kappa = len(sbar) - 1
+	}
+	return d, Window{Gamma: gamma, Kappa: kappa}
+}
+
+// buildPoints assembles the match points plus virtual start/end points.
+// When local is true the boundary costs are charged only on the first
+// string (the block side), which is encoded by giving the virtual points
+// sentinel diagonals (see package comment in dp.go).
+func buildPoints(a, b []int, local bool) []point {
+	m := matchPoints(a, b)
+	pts := make([]point, 0, len(m)+2)
+	start := point{i: -1, j: -1, diag: 0, parent: -1}
+	end := point{i: len(a), j: len(b), diag: int64(len(a) - len(b)), parent: -1}
+	if local {
+		start.diag = -diagInf
+		end.diag = diagInf
+	}
+	pts = append(pts, start)
+	pts = append(pts, m...)
+	pts = append(pts, end)
+	for k := range pts {
+		pts[k].d = costInf
+		pts[k].parent = -1
+	}
+	pts[0].d = 0
+	return pts
+}
+
+// Dist is a convenience wrapper returning Exact with no op accounting.
+func Dist(a, b []int) int { return Exact(a, b, nil) }
+
+// BruteLocal computes the local Ulam distance by trying every substring of
+// sbar (including the empty one). Exponentially slower than Local; exists
+// as the oracle for tests.
+func BruteLocal(block, sbar []int) (int, Window) {
+	best := len(block)
+	win := Window{Gamma: 0, Kappa: -1}
+	for g := 0; g < len(sbar); g++ {
+		for k := g; k < len(sbar); k++ {
+			if d := Exact(block, sbar[g:k+1], nil); d < best {
+				best = d
+				win = Window{Gamma: g, Kappa: k}
+			}
+		}
+	}
+	return best, win
+}
+
+// sortByJ returns indices of pts[lo:hi] ordered by increasing j.
+func sortByJ(pts []point, lo, hi int) []int {
+	idx := make([]int, hi-lo)
+	for k := range idx {
+		idx[k] = lo + k
+	}
+	sort.Slice(idx, func(x, y int) bool { return pts[idx[x]].j < pts[idx[y]].j })
+	return idx
+}

@@ -1,0 +1,219 @@
+package ulam
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/lis"
+	"mpcdist/internal/stats"
+)
+
+// randDistinct returns a random sequence of n distinct characters drawn
+// from [0, universe).
+func randDistinct(rng *rand.Rand, n, universe int) []int {
+	p := rng.Perm(universe)
+	return p[:n]
+}
+
+func TestExactKnown(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1}, nil, 1},
+		{nil, []int{1}, 1},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, []int{2, 3, 1}, 2},       // rotate: delete 1, insert 1
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 3},       // disjoint: substitute all
+		{[]int{1, 2, 3, 4}, []int{1, 9, 3, 4}, 1}, // one substitution
+		{[]int{1, 2}, []int{2, 1}, 2},
+		{[]int{1, 2, 3, 4, 5}, []int{1, 3, 2, 4, 5}, 2},
+	}
+	for _, c := range cases {
+		if got := Exact(c.a, c.b, nil); got != c.want {
+			t.Errorf("Exact(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExactVsEditDistanceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		u := 10 + rng.Intn(50)
+		a := randDistinct(rng, rng.Intn(u), u)
+		b := randDistinct(rng, rng.Intn(u), u)
+		want := editdist.Distance(a, b, nil)
+		if got := Exact(a, b, nil); got != want {
+			t.Fatalf("Exact(%v,%v) = %d, want %d", a, b, got, want)
+		}
+		if got := ExactQuadratic(a, b, nil); got != want {
+			t.Fatalf("ExactQuadratic(%v,%v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestExactFastEqualsQuadraticLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		u := 200 + rng.Intn(200)
+		a := randDistinct(rng, u/2+rng.Intn(u/2), u)
+		b := randDistinct(rng, u/2+rng.Intn(u/2), u)
+		if got, want := Exact(a, b, nil), ExactQuadratic(a, b, nil); got != want {
+			t.Fatalf("fast %d != quadratic %d", got, want)
+		}
+	}
+}
+
+func TestExactMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		u := 30
+		a := randDistinct(rng, rng.Intn(u), u)
+		b := randDistinct(rng, rng.Intn(u), u)
+		c := randDistinct(rng, rng.Intn(u), u)
+		if Exact(a, a, nil) != 0 {
+			t.Fatal("d(a,a) != 0")
+		}
+		if Exact(a, b, nil) != Exact(b, a, nil) {
+			t.Fatal("not symmetric")
+		}
+		if Exact(a, c, nil) > Exact(a, b, nil)+Exact(b, c, nil) {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestExactBoundsVsIndelUlam(t *testing.T) {
+	// With substitutions allowed, ulam <= indel-ulam <= 2*ulam.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		a := rng.Perm(n)
+		b := rng.Perm(n)
+		d := Exact(a, b, nil)
+		id := lis.IndelUlam(a, b)
+		if d > id {
+			t.Fatalf("ulam %d > indel ulam %d", d, id)
+		}
+		if id > 2*d {
+			t.Fatalf("indel ulam %d > 2*ulam %d", id, d)
+		}
+	}
+}
+
+func TestCheckDistinct(t *testing.T) {
+	if err := CheckDistinct([]int{1, 2, 3}); err != nil {
+		t.Errorf("distinct rejected: %v", err)
+	}
+	if err := CheckDistinct([]int{1, 2, 1}); err == nil {
+		t.Error("repeat accepted")
+	}
+	if err := CheckDistinct(nil); err != nil {
+		t.Errorf("empty rejected: %v", err)
+	}
+}
+
+func TestLocalVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 200; trial++ {
+		u := 24
+		nb := 1 + rng.Intn(8)
+		ns := rng.Intn(16)
+		block := randDistinct(rng, nb, u)
+		sbar := randDistinct(rng, ns, u)
+		want, _ := BruteLocal(block, sbar)
+		got, win := Local(block, sbar, nil)
+		if got != want {
+			t.Fatalf("Local(%v,%v) = %d, want %d", block, sbar, got, want)
+		}
+		gotQ, _ := LocalQuadratic(block, sbar, nil)
+		if gotQ != want {
+			t.Fatalf("LocalQuadratic(%v,%v) = %d, want %d", block, sbar, gotQ, want)
+		}
+		// The returned window must attain the reported distance.
+		if win.Len() > 0 {
+			if d := Exact(block, sbar[win.Gamma:win.Kappa+1], nil); d != got {
+				t.Fatalf("window [%d,%d] has distance %d, reported %d (block=%v sbar=%v)",
+					win.Gamma, win.Kappa, d, got, block, sbar)
+			}
+		} else if got != len(block) {
+			t.Fatalf("empty window reported with distance %d != |block| %d", got, len(block))
+		}
+	}
+}
+
+func TestLocalIsMinOverWindows(t *testing.T) {
+	// lulam(block, sbar) <= ulam(block, any substring).
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 50; trial++ {
+		u := 40
+		block := randDistinct(rng, 1+rng.Intn(10), u)
+		sbar := randDistinct(rng, rng.Intn(30), u)
+		d, _ := Local(block, sbar, nil)
+		for probe := 0; probe < 10; probe++ {
+			if len(sbar) == 0 {
+				break
+			}
+			g := rng.Intn(len(sbar))
+			k := g + rng.Intn(len(sbar)-g)
+			if dd := Exact(block, sbar[g:k+1], nil); dd < d {
+				t.Fatalf("Local = %d but window [%d,%d] achieves %d", d, g, k, dd)
+			}
+		}
+		if d > len(block) {
+			t.Fatalf("Local %d exceeds |block| %d", d, len(block))
+		}
+	}
+}
+
+func TestLocalExactSubstringPresent(t *testing.T) {
+	// If the block appears verbatim inside sbar, Local must return 0 and a
+	// window equal to the occurrence.
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 50; trial++ {
+		sbar := rng.Perm(60)
+		g := rng.Intn(50)
+		k := g + rng.Intn(60-g)
+		block := append([]int{}, sbar[g:k+1]...)
+		d, win := Local(block, sbar, nil)
+		if d != 0 {
+			t.Fatalf("verbatim block has Local = %d", d)
+		}
+		if win.Gamma != g || win.Kappa != k {
+			t.Fatalf("window [%d,%d], want [%d,%d]", win.Gamma, win.Kappa, g, k)
+		}
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	var ops stats.Ops
+	rng := rand.New(rand.NewSource(28))
+	a := randDistinct(rng, 50, 100)
+	b := randDistinct(rng, 50, 100)
+	Exact(a, b, &ops)
+	if ops.Count() == 0 {
+		t.Error("Exact charged no ops")
+	}
+}
+
+func BenchmarkExactFast1e3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := rng.Perm(1000)
+	y := rng.Perm(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(x, y, nil)
+	}
+}
+
+func BenchmarkExactQuadratic1e3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := rng.Perm(1000)
+	y := rng.Perm(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactQuadratic(x, y, nil)
+	}
+}

@@ -1,0 +1,228 @@
+// Package workload generates synthetic inputs for the benchmark harness:
+// random and planted-distance permutations for Ulam distance, and random,
+// planted-edit, DNA-like, and adversarial strings for edit distance.
+//
+// Planted instances carry a certified upper bound on the true distance so
+// approximation factors can be bounded without running the quadratic exact
+// oracle at large n.
+package workload
+
+import (
+	"math/rand"
+)
+
+// Permutation returns a uniformly random permutation of [0, n).
+func Permutation(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// PlantedUlam returns two sequences of length n with distinct characters
+// whose Ulam distance is at most budget: s is a random permutation of
+// [0, n) and sbar is derived from s by substitutions (fresh characters
+// >= n, cost 1) and character moves (delete + reinsert, cost 2) until the
+// budget is exhausted. It returns s, sbar, and the planted cost (an upper
+// bound on ulam(s, sbar), and the exact cost of the planted script).
+func PlantedUlam(rng *rand.Rand, n, budget int) (s, sbar []int, planted int) {
+	s = rng.Perm(n)
+	sbar = append([]int(nil), s...)
+	fresh := n
+	for planted < budget && len(sbar) > 0 {
+		if budget-planted >= 2 && rng.Intn(2) == 0 {
+			// Move: delete a character and reinsert it elsewhere. Cost 2.
+			i := rng.Intn(len(sbar))
+			c := sbar[i]
+			sbar = append(sbar[:i], sbar[i+1:]...)
+			j := rng.Intn(len(sbar) + 1)
+			sbar = append(sbar[:j], append([]int{c}, sbar[j:]...)...)
+			planted += 2
+		} else {
+			// Substitute with a fresh character. Cost 1.
+			i := rng.Intn(len(sbar))
+			sbar[i] = fresh
+			fresh++
+			planted++
+		}
+	}
+	return s, sbar, planted
+}
+
+// RandomString returns a string of n characters drawn uniformly from an
+// alphabet of the given size (starting at 'a').
+func RandomString(rng *rand.Rand, n, sigma int) []byte {
+	if sigma < 1 {
+		sigma = 1
+	}
+	if sigma > 26 {
+		sigma = 26
+	}
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + rng.Intn(sigma))
+	}
+	return s
+}
+
+// DNA returns a random string over {A, C, G, T}.
+func DNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = bases[rng.Intn(4)]
+	}
+	return s
+}
+
+// PlantedEdits applies exactly budget random edit operations (insert,
+// delete, substitute over the same alphabet) to a copy of s and returns the
+// mutated string. ed(s, result) <= budget always holds.
+func PlantedEdits(rng *rand.Rand, s []byte, budget int, sigma int) []byte {
+	if sigma < 1 {
+		sigma = 1
+	}
+	out := append([]byte(nil), s...)
+	for op := 0; op < budget; op++ {
+		switch k := rng.Intn(3); {
+		case k == 0 && len(out) > 0: // delete
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		case k == 1: // insert
+			i := rng.Intn(len(out) + 1)
+			c := byte('a' + rng.Intn(sigma))
+			out = append(out[:i], append([]byte{c}, out[i:]...)...)
+		default: // substitute
+			if len(out) == 0 {
+				out = append(out, byte('a'+rng.Intn(sigma)))
+				continue
+			}
+			i := rng.Intn(len(out))
+			out[i] = byte('a' + rng.Intn(sigma))
+		}
+	}
+	return out
+}
+
+// PlantedDNA applies budget random mutations to a DNA string.
+func PlantedDNA(rng *rand.Rand, s []byte, budget int) []byte {
+	const bases = "ACGT"
+	out := append([]byte(nil), s...)
+	for op := 0; op < budget; op++ {
+		switch k := rng.Intn(3); {
+		case k == 0 && len(out) > 0:
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		case k == 1:
+			i := rng.Intn(len(out) + 1)
+			out = append(out[:i], append([]byte{bases[rng.Intn(4)]}, out[i:]...)...)
+		default:
+			if len(out) > 0 {
+				out[rng.Intn(len(out))] = bases[rng.Intn(4)]
+			}
+		}
+	}
+	return out
+}
+
+// Periodic returns the adversarial string (p0 p1 ... p_{period-1})^* of
+// length n; periodic inputs maximize match-point density, stressing the
+// Ulam and candidate machinery. sigma caps the number of distinct
+// characters used.
+func Periodic(n, period, sigma int) []byte {
+	if period < 1 {
+		period = 1
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + (i%period)%sigma)
+	}
+	return s
+}
+
+// Shift returns s rotated left by k — a classic hard case where the edit
+// distance (2k for k << n) is far below the Hamming distance.
+func Shift(s []byte, k int) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	k = ((k % len(s)) + len(s)) % len(s)
+	out := make([]byte, 0, len(s))
+	out = append(out, s[k:]...)
+	out = append(out, s[:k]...)
+	return out
+}
+
+// ShiftInts is Shift for integer sequences (permutation workloads).
+func ShiftInts(s []int, k int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	k = ((k % len(s)) + len(s)) % len(s)
+	out := make([]int, 0, len(s))
+	out = append(out, s[k:]...)
+	out = append(out, s[:k]...)
+	return out
+}
+
+// BlockMove cuts a random block of length blockLen out of s and reinserts
+// it elsewhere — edit distance at most 2·blockLen but Hamming distance up
+// to n. Block moves are the classic adversarial case for alignment
+// heuristics that assume near-diagonal structure.
+func BlockMove(rng *rand.Rand, s []byte, blockLen int) []byte {
+	if len(s) == 0 || blockLen <= 0 {
+		return append([]byte(nil), s...)
+	}
+	if blockLen > len(s) {
+		blockLen = len(s)
+	}
+	from := rng.Intn(len(s) - blockLen + 1)
+	block := append([]byte(nil), s[from:from+blockLen]...)
+	rest := append(append([]byte(nil), s[:from]...), s[from+blockLen:]...)
+	to := rng.Intn(len(rest) + 1)
+	out := append(append(append([]byte(nil), rest[:to]...), block...), rest[to:]...)
+	return out
+}
+
+// BlockMoveInts is BlockMove for integer sequences (permutations).
+func BlockMoveInts(rng *rand.Rand, s []int, blockLen int) []int {
+	if len(s) == 0 || blockLen <= 0 {
+		return append([]int(nil), s...)
+	}
+	if blockLen > len(s) {
+		blockLen = len(s)
+	}
+	from := rng.Intn(len(s) - blockLen + 1)
+	block := append([]int(nil), s[from:from+blockLen]...)
+	rest := append(append([]int(nil), s[:from]...), s[from+blockLen:]...)
+	to := rng.Intn(len(rest) + 1)
+	return append(append(append([]int(nil), rest[:to]...), block...), rest[to:]...)
+}
+
+// Mirror returns s reversed — maximal distance for most inputs and a
+// stress case for the candidate machinery (no near-diagonal matches).
+func Mirror(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+// Zipf returns a string whose characters follow a Zipf distribution over
+// an alphabet of the given size — skewed alphabets create dense match
+// structure, the worst case for match-point DPs.
+func Zipf(rng *rand.Rand, n, sigma int) []byte {
+	if sigma < 1 {
+		sigma = 1
+	}
+	if sigma > 26 {
+		sigma = 26
+	}
+	z := rand.NewZipf(rng, 1.5, 1, uint64(sigma-1))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + z.Uint64())
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/editdist"
+	"mpcdist/internal/ulam"
+)
+
+func TestPlantedUlamBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(60)
+		budget := rng.Intn(n)
+		s, sbar, planted := PlantedUlam(rng, n, budget)
+		if planted > budget {
+			t.Fatalf("planted %d > budget %d", planted, budget)
+		}
+		if err := ulam.CheckDistinct(s); err != nil {
+			t.Fatalf("s not distinct: %v", err)
+		}
+		if err := ulam.CheckDistinct(sbar); err != nil {
+			t.Fatalf("sbar not distinct: %v", err)
+		}
+		if len(sbar) != n {
+			t.Fatalf("|sbar| = %d, want %d", len(sbar), n)
+		}
+		if d := ulam.Exact(s, sbar, nil); d > planted {
+			t.Fatalf("true distance %d exceeds planted cost %d", d, planted)
+		}
+	}
+}
+
+func TestPlantedEditsBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(80)
+		s := RandomString(rng, n, 4)
+		budget := rng.Intn(20)
+		m := PlantedEdits(rng, s, budget, 4)
+		if d := editdist.Distance(s, m, nil); d > budget {
+			t.Fatalf("ed = %d > budget %d", d, budget)
+		}
+	}
+}
+
+func TestPlantedDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := DNA(rng, 100)
+	m := PlantedDNA(rng, s, 7)
+	if d := editdist.Distance(s, m, nil); d > 7 {
+		t.Fatalf("ed = %d > 7", d)
+	}
+	for _, c := range m {
+		switch c {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("non-DNA character %q", c)
+		}
+	}
+}
+
+func TestRandomStringAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	s := RandomString(rng, 500, 3)
+	for _, c := range s {
+		if c < 'a' || c > 'c' {
+			t.Fatalf("character %q outside sigma=3", c)
+		}
+	}
+	// sigma clamping.
+	s = RandomString(rng, 10, 0)
+	for _, c := range s {
+		if c != 'a' {
+			t.Fatalf("sigma=0 should clamp to 1, got %q", c)
+		}
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s := Periodic(10, 3, 26)
+	want := "abcabcabca"
+	if string(s) != want {
+		t.Errorf("Periodic = %q, want %q", s, want)
+	}
+	if got := Periodic(4, 0, 0); string(got) != "aaaa" {
+		t.Errorf("degenerate Periodic = %q", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	s := []byte("abcdef")
+	if got := string(Shift(s, 2)); got != "cdefab" {
+		t.Errorf("Shift(2) = %q", got)
+	}
+	if got := string(Shift(s, -1)); got != "fabcde" {
+		t.Errorf("Shift(-1) = %q", got)
+	}
+	if got := string(Shift(s, 6)); got != "abcdef" {
+		t.Errorf("Shift(6) = %q", got)
+	}
+	if Shift(nil, 3) != nil {
+		t.Error("Shift(nil) != nil")
+	}
+	// Shift by k has edit distance at most 2k.
+	rng := rand.New(rand.NewSource(45))
+	str := RandomString(rng, 60, 8)
+	for _, k := range []int{1, 3, 10} {
+		if d := editdist.Distance(str, Shift(str, k), nil); d > 2*k {
+			t.Errorf("shift %d has ed %d > %d", k, d, 2*k)
+		}
+	}
+	p := []int{0, 1, 2, 3}
+	if got := ShiftInts(p, 1); got[0] != 1 || got[3] != 0 {
+		t.Errorf("ShiftInts = %v", got)
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	p := Permutation(rng, 50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBlockMoveDistanceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		s := RandomString(rng, 100+rng.Intn(100), 8)
+		bl := 1 + rng.Intn(30)
+		m := BlockMove(rng, s, bl)
+		if len(m) != len(s) {
+			t.Fatalf("length changed: %d -> %d", len(s), len(m))
+		}
+		if d := editdist.Distance(s, m, nil); d > 2*bl {
+			t.Fatalf("block move of %d has ed %d > %d", bl, d, 2*bl)
+		}
+	}
+	// Degenerate cases.
+	if got := BlockMove(rng, nil, 5); len(got) != 0 {
+		t.Error("BlockMove(nil)")
+	}
+	s := []byte("abc")
+	if got := BlockMove(rng, s, 0); string(got) != "abc" {
+		t.Error("BlockMove len 0")
+	}
+}
+
+func TestBlockMoveIntsKeepsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	p := rng.Perm(60)
+	m := BlockMoveInts(rng, p, 10)
+	if err := ulam.CheckDistinct(m); err != nil {
+		t.Fatal(err)
+	}
+	if d := ulam.Exact(p, m, nil); d > 20 {
+		t.Errorf("block move ulam distance %d > 20", d)
+	}
+}
+
+func TestMirror(t *testing.T) {
+	if got := string(Mirror([]byte("abc"))); got != "cba" {
+		t.Errorf("Mirror = %q", got)
+	}
+	if got := Mirror(nil); len(got) != 0 {
+		t.Error("Mirror(nil)")
+	}
+}
+
+func TestZipfAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	s := Zipf(rng, 2000, 6)
+	counts := map[byte]int{}
+	for _, c := range s {
+		if c < 'a' || c >= 'a'+6 {
+			t.Fatalf("character %q outside alphabet", c)
+		}
+		counts[c]++
+	}
+	// Zipf: 'a' must dominate.
+	if counts['a'] < counts['b'] {
+		t.Errorf("Zipf not skewed: a=%d b=%d", counts['a'], counts['b'])
+	}
+}
