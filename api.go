@@ -1,6 +1,8 @@
 package mpcdist
 
 import (
+	"context"
+
 	"mpcdist/internal/approx"
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/chain"
@@ -94,11 +96,23 @@ func EditDistanceDiagonal(a, b []byte, ops *Ops) int {
 }
 
 // UlamScript returns an optimal Ulam transformation of a into b as an
-// edit script (Cost(script) equals UlamDistance(a, b)).
+// edit script (Cost(script) equals UlamDistance(a, b)). It panics on
+// repeated characters; UlamScriptE returns an error instead.
 func UlamScript(a, b []int) []EditOp {
-	mustDistinct(a)
-	mustDistinct(b)
-	return ulam.Script(a, b, nil)
+	s, err := UlamScriptE(a, b)
+	if err != nil {
+		panic("mpcdist: " + err.Error())
+	}
+	return s
+}
+
+// UlamScriptE is UlamScript with an error return instead of a panic on
+// inputs with repeated characters — the form to use on untrusted input.
+func UlamScriptE(a, b []int) ([]EditOp, error) {
+	if err := checkDistinctBoth(a, b); err != nil {
+		return nil, err
+	}
+	return ulam.Script(a, b, nil), nil
 }
 
 // EditScript returns an optimal edit script transforming a into b
@@ -117,11 +131,23 @@ func ApproxEditDistance(a, b []byte, eps float64, seed int64, ops *Ops) int {
 
 // UlamDistance returns the exact Ulam distance (substitutions allowed)
 // between two strings of distinct characters. It panics if either input
-// repeats a character; use CheckDistinct to validate untrusted input.
+// repeats a character; use UlamDistanceE on untrusted input.
 func UlamDistance(a, b []int) int {
-	mustDistinct(a)
-	mustDistinct(b)
-	return ulam.Exact(a, b, nil)
+	d, err := UlamDistanceE(a, b)
+	if err != nil {
+		panic("mpcdist: " + err.Error())
+	}
+	return d
+}
+
+// UlamDistanceE is UlamDistance with an error return instead of a panic
+// on inputs with repeated characters — the form to use on untrusted
+// input (e.g. a server rejecting a bad request).
+func UlamDistanceE(a, b []int) (int, error) {
+	if err := checkDistinctBoth(a, b); err != nil {
+		return 0, err
+	}
+	return ulam.Exact(a, b, nil), nil
 }
 
 // CheckDistinct reports whether s is free of repeated characters, as the
@@ -144,10 +170,23 @@ func LongestIncreasingSubsequence(a []int) int { return lis.Length(a) }
 
 // LocalUlam returns the minimum Ulam distance between block and any
 // substring of sbar, with a window attaining it (the paper's lulam).
+// It panics on repeated characters; LocalUlamE returns an error instead.
 func LocalUlam(block, sbar []int) (int, Window) {
-	mustDistinct(block)
-	mustDistinct(sbar)
-	return ulam.Local(block, sbar, nil)
+	d, w, err := LocalUlamE(block, sbar)
+	if err != nil {
+		panic("mpcdist: " + err.Error())
+	}
+	return d, w
+}
+
+// LocalUlamE is LocalUlam with an error return instead of a panic on
+// inputs with repeated characters — the form to use on untrusted input.
+func LocalUlamE(block, sbar []int) (int, Window, error) {
+	if err := checkDistinctBoth(block, sbar); err != nil {
+		return 0, Window{}, err
+	}
+	d, w := ulam.Local(block, sbar, nil)
+	return d, w, nil
 }
 
 // UlamDistanceMPC approximates the Ulam distance within 1+eps with high
@@ -157,11 +196,27 @@ func UlamDistanceMPC(s, sbar []int, p MPCParams) (MPCResult, error) {
 	return core.UlamMPC(s, sbar, p)
 }
 
+// UlamDistanceMPCCtx is UlamDistanceMPC with a cancellation context: the
+// simulation aborts between rounds (and before each machine executes)
+// once ctx is done, returning ctx's error.
+func UlamDistanceMPCCtx(ctx context.Context, s, sbar []int, p MPCParams) (MPCResult, error) {
+	p.Ctx = ctx
+	return core.UlamMPC(s, sbar, p)
+}
+
 // EditDistanceMPC approximates the edit distance within 3+eps (1+eps with
 // the default exact pair kernel) in at most four MPC rounds per distance
 // guess, on Õ(n^{(9/5)x}) machines of Õ(n^{1-x}) words each (Theorem 9).
 // Requires 0 < X <= 5/17.
 func EditDistanceMPC(s, sbar []byte, p MPCParams) (MPCResult, error) {
+	return core.EditMPC(s, sbar, p)
+}
+
+// EditDistanceMPCCtx is EditDistanceMPC with a cancellation context: the
+// simulation aborts between rounds (and before each machine executes)
+// once ctx is done, returning ctx's error.
+func EditDistanceMPCCtx(ctx context.Context, s, sbar []byte, p MPCParams) (MPCResult, error) {
+	p.Ctx = ctx
 	return core.EditMPC(s, sbar, p)
 }
 
@@ -220,4 +275,11 @@ func mustDistinct(s []int) {
 	if err := ulam.CheckDistinct(s); err != nil {
 		panic("mpcdist: " + err.Error())
 	}
+}
+
+func checkDistinctBoth(a, b []int) error {
+	if err := ulam.CheckDistinct(a); err != nil {
+		return err
+	}
+	return ulam.CheckDistinct(b)
 }

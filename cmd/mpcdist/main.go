@@ -46,6 +46,23 @@ func main() {
 	var ops stats.Ops
 	p := core.Params{X: *x, Eps: *eps, Seed: *seed}
 
+	// Validate flags up front so bad input exits with a message, not a
+	// panic: the MPC exponent range depends on the algorithm (Theorem 4
+	// vs Theorem 9), and the Ulam kernels require distinct characters.
+	switch *algo {
+	case "mpc", "hss":
+		if *x <= 0 || (*algo == "mpc" && *x > 5.0/17+1e-9) || (*algo == "hss" && *x >= 0.5) {
+			die("x = %v outside the valid range for -algo %s (mpc: (0, 5/17], hss: (0, 1/2))", *x, *algo)
+		}
+	case "ulam-mpc":
+		if *x <= 0 || *x >= 0.5 {
+			die("x = %v outside (0, 1/2) for -algo ulam-mpc", *x)
+		}
+	case "bounded":
+		if *bound < 0 {
+			die("-bound must be >= 0, got %d", *bound)
+		}
+	}
 	switch *algo {
 	case "exact":
 		fmt.Println(editdist.Bytes(a, b, &ops))
@@ -83,9 +100,10 @@ func main() {
 			verifyEdit(a, b, res.Value)
 		}
 	case "ulam":
-		fmt.Println(ulam.Exact(parseInts(a), parseInts(b), &ops))
+		ia, ib := distinctInts(a), distinctInts(b)
+		fmt.Println(ulam.Exact(ia, ib, &ops))
 	case "ulam-mpc":
-		ia, ib := parseInts(a), parseInts(b)
+		ia, ib := distinctInts(a), distinctInts(b)
 		res, err := core.UlamMPC(ia, ib, p)
 		report(res, err, *verbose)
 		if *verify {
@@ -93,12 +111,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "exact=%d factor=%.4f\n", exact, factorOf(res.Value, exact))
 		}
 	case "lulam":
-		d, win := ulam.Local(parseInts(a), parseInts(b), &ops)
+		d, win := ulam.Local(distinctInts(a), distinctInts(b), &ops)
 		fmt.Printf("%d window=[%d,%d]\n", d, win.Gamma, win.Kappa)
 	default:
 		fmt.Fprintf(os.Stderr, "mpcdist: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpcdist: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// distinctInts parses a sequence and rejects repeated characters, which
+// the Ulam kernels require (they panic otherwise).
+func distinctInts(b []byte) []int {
+	s := parseInts(b)
+	if err := ulam.CheckDistinct(s); err != nil {
+		die("%v", err)
+	}
+	return s
 }
 
 func input(s, file string) []byte {

@@ -1,0 +1,82 @@
+// Command mpcserve runs the HTTP/JSON distance-query service: the
+// repository's sequential, approximate, and MPC-simulated kernels behind
+// a batched, cached, bounded-concurrency front end.
+//
+// Usage:
+//
+//	mpcserve -addr :8080 -pool 8 -cache 4096 -timeout 30s
+//
+// Endpoints (see docs/SERVER.md for the full reference):
+//
+//	POST /v1/distance    {"algo":"edit","a":"kitten","b":"sitting"}
+//	POST /v1/batch       {"queries":[...]} -> NDJSON stream
+//	GET  /v1/algorithms  supported algorithms
+//	GET  /metrics        counters, latency histograms, cache/pool stats
+//	GET  /healthz        liveness
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpcdist/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "max concurrently executing kernels (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 4096, "LRU result-cache capacity in answers (negative = off)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request compute timeout")
+	maxInput := flag.Int("max-input", 1<<20, "max bytes per string / elements per sequence")
+	maxBatch := flag.Int("max-batch", 1024, "max queries per batch request")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		PoolSize:       *pool,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		MaxInputLen:    *maxInput,
+		MaxBatch:       *maxBatch,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("mpcserve: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("mpcserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mpcserve: shutting down (draining up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mpcserve: shutdown: %v", err)
+	}
+	snap := srv.Metrics().Snapshot()
+	fmt.Printf("mpcserve: served %d requests (%d errors, %d timeouts, %d batches)\n",
+		snap.Requests, snap.Errors, snap.Timeouts, snap.Batches)
+}

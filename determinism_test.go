@@ -1,0 +1,114 @@
+package mpcdist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// normalizeResult zeroes the wall-clock fields of a result's reports so
+// two executions can be compared for byte-identical model quantities.
+func normalizeResult(res MPCResult) MPCResult {
+	zero := func(r Report) Report {
+		for i := range r.Rounds {
+			r.Rounds[i].Elapsed = 0
+		}
+		return r
+	}
+	res.Report = zero(res.Report)
+	for i := range res.GuessReports {
+		res.GuessReports[i] = zero(res.GuessReports[i])
+	}
+	return res
+}
+
+// TestMPCDeterministicUnderParallelism guards the "common seed"
+// reproducibility claim of Algorithm 6: with a fixed Seed, the simulated
+// algorithms must produce identical values, chains, and measured model
+// quantities whether machines run one at a time or on all of the host's
+// cores — goroutine scheduling must not leak into the results.
+func TestMPCDeterministicUnderParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	// Ulam: a permutation pair with scattered moves.
+	n := 600
+	s := rng.Perm(n)
+	sbar := append([]int(nil), s...)
+	for k := 0; k < 20; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		sbar[i], sbar[j] = sbar[j], sbar[i]
+	}
+	ulamParams := func(par int) MPCParams {
+		return MPCParams{X: 0.3, Eps: 0.5, Seed: 12345, Parallelism: par}
+	}
+	serial, err := UlamDistanceMPC(s, sbar, ulamParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := UlamDistanceMPC(s, sbar, ulamParams(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResult(serial), normalizeResult(parallel)) {
+		t.Errorf("UlamDistanceMPC differs between Parallelism=1 and GOMAXPROCS:\nserial:   %+v\nparallel: %+v",
+			normalizeResult(serial), normalizeResult(parallel))
+	}
+
+	// Edit distance: a byte pair exercising both sampling and guessing.
+	a := make([]byte, 350)
+	for i := range a {
+		a[i] = byte('a' + rng.Intn(4))
+	}
+	b := append([]byte(nil), a...)
+	for k := 0; k < 15; k++ {
+		b[rng.Intn(len(b))] = byte('a' + rng.Intn(4))
+	}
+	editParams := func(par int) MPCParams {
+		return MPCParams{X: 0.25, Eps: 0.5, Seed: 999, Parallelism: par}
+	}
+	eSerial, err := EditDistanceMPC(a, b, editParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eParallel, err := EditDistanceMPC(a, b, editParams(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResult(eSerial), normalizeResult(eParallel)) {
+		t.Errorf("EditDistanceMPC differs between Parallelism=1 and GOMAXPROCS:\nserial:   %+v\nparallel: %+v",
+			normalizeResult(eSerial), normalizeResult(eParallel))
+	}
+}
+
+// TestMPCCancellation checks that a done context aborts a simulation
+// promptly with the context's error.
+func TestMPCCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 3000
+	s := rng.Perm(n)
+	sbar := rng.Perm(n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := UlamDistanceMPCCtx(ctx, s, sbar, MPCParams{X: 0.3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Ulam MPC returned %v, want context.Canceled", err)
+	}
+
+	tctx, tcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer tcancel()
+	start := time.Now()
+	_, err := EditDistanceMPCCtx(tctx, []byte("it was the best of times"), []byte("it was the worst of times"),
+		MPCParams{X: 0.25})
+	// A tiny input can legitimately finish inside the deadline; when it
+	// does not, the error must be the deadline and the return prompt.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out edit MPC returned %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("timed-out edit MPC took %v to return", time.Since(start))
+	}
+}

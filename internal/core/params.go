@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,6 +35,10 @@ type Params struct {
 	HitConst float64
 	// Parallelism bounds concurrently simulated machines (0 = GOMAXPROCS).
 	Parallelism int
+	// Ctx, when non-nil, cancels the simulation between rounds (and before
+	// each machine executes), so a caller-imposed timeout or disconnect
+	// aborts a long run promptly. Nil means no cancellation.
+	Ctx context.Context
 	// Solver selects the block/candidate pair kernel for the edit-distance
 	// small regime (see PairSolver).
 	Solver PairSolver
@@ -113,6 +118,7 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		MachineWords: p.memoryBudget(n),
 		Parallelism:  p.Parallelism,
 		Seed:         p.Seed,
+		Ctx:          p.Ctx,
 	})
 }
 

@@ -17,6 +17,7 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -54,6 +55,11 @@ type Config struct {
 	Parallelism int
 	// Seed feeds both the shared and the per-machine random streams.
 	Seed int64
+	// Ctx, when non-nil, cancels the simulation: Run checks it before the
+	// round starts and before each machine executes, so a timed-out or
+	// abandoned request stops within one machine's work rather than
+	// running the remaining rounds to completion.
+	Ctx context.Context
 }
 
 // RoundStats records the measured model quantities of one round.
@@ -217,6 +223,13 @@ func PayloadWords(in []Payload) int {
 func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (map[int][]Payload, error) {
 	round := len(c.rounds)
 	st := RoundStats{Name: name, Machines: len(inputs)}
+	ctx := c.cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mpc: round %q cancelled: %w", name, err)
+	}
 	if c.cfg.MaxMachines > 0 && len(inputs) > c.cfg.MaxMachines {
 		return nil, &MemoryError{Round: name, Words: len(inputs), Limit: c.cfg.MaxMachines, Kind: "machines"}
 	}
@@ -249,11 +262,17 @@ func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (ma
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			fn(x, in)
 		}(ctxs[k], inputs[id])
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mpc: round %q cancelled: %w", name, err)
+	}
 
 	next := make(map[int][]Payload)
 	var firstErr error

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mpcdist"
+)
+
+// badRequestError marks client-side failures (unknown algorithm, invalid
+// parameters, malformed input) that map to HTTP 400.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// algoSpec describes one queryable kernel.
+type algoSpec struct {
+	// Ints means the algorithm consumes ASeq/BSeq (distinct integers)
+	// rather than the A/B strings.
+	Ints bool
+	// MPC means the algorithm runs on the simulated cluster; its X
+	// parameter is validated against MaxX and the answer carries a Report.
+	MPC bool
+	// MaxX is the exclusive upper bound of the valid exponent range
+	// (MPC algorithms only); Theorem 9 allows X = 5/17 itself, the slack
+	// mirrors core's validation.
+	MaxX float64
+	run  func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error)
+}
+
+const (
+	maxXHalf = 0.5
+	maxXEdit = 5.0/17 + 1e-9
+)
+
+func seqAnswer(algo, regime string, d int) Answer {
+	return Answer{Algo: algo, Distance: d, Regime: regime}
+}
+
+func mpcAnswer(algo string, res mpcdist.MPCResult) Answer {
+	return Answer{
+		Algo:     algo,
+		Distance: res.Value,
+		Regime:   res.Regime,
+		Guess:    res.Guess,
+		Report:   reportJSON(res.Report),
+	}
+}
+
+// algos is the kernel registry: every supported value of Query.Algo.
+var algos = map[string]algoSpec{
+	"edit": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("edit", "", mpcdist.EditDistanceBytes([]byte(q.A), []byte(q.B), nil)), nil
+	}},
+	"edit-myers": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("edit-myers", "", mpcdist.EditDistanceFast([]byte(q.A), []byte(q.B), nil)), nil
+	}},
+	"edit-diagonal": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("edit-diagonal", "", mpcdist.EditDistanceDiagonal([]byte(q.A), []byte(q.B), nil)), nil
+	}},
+	"edit-bounded": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		if q.Bound < 0 {
+			return Answer{}, badRequestf("bound must be >= 0, got %d", q.Bound)
+		}
+		return seqAnswer("edit-bounded", "", mpcdist.EditDistanceBounded([]byte(q.A), []byte(q.B), q.Bound, nil)), nil
+	}},
+	"edit-approx": {run: func(_ context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("edit-approx", "", mpcdist.ApproxEditDistance([]byte(q.A), []byte(q.B), p.Eps, p.Seed, nil)), nil
+	}},
+	"lcs": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("lcs", "", mpcdist.LCSLength([]byte(q.A), []byte(q.B), nil)), nil
+	}},
+	"indel": {run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer("indel", "", mpcdist.IndelDistance([]byte(q.A), []byte(q.B), nil)), nil
+	}},
+	"ulam": {Ints: true, run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		d, err := mpcdist.UlamDistanceE(q.ASeq, q.BSeq)
+		if err != nil {
+			return Answer{}, badRequestError{msg: err.Error()}
+		}
+		return seqAnswer("ulam", "", d), nil
+	}},
+	"ulam-indel": {Ints: true, run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		// CheckDistinct first: the panicking form is not for untrusted input.
+		for _, s := range [][]int{q.ASeq, q.BSeq} {
+			if err := mpcdist.CheckDistinct(s); err != nil {
+				return Answer{}, badRequestError{msg: err.Error()}
+			}
+		}
+		return seqAnswer("ulam-indel", "", mpcdist.UlamIndelDistance(q.ASeq, q.BSeq)), nil
+	}},
+	"lulam": {Ints: true, run: func(_ context.Context, q Query, _ mpcdist.MPCParams) (Answer, error) {
+		d, win, err := mpcdist.LocalUlamE(q.ASeq, q.BSeq)
+		if err != nil {
+			return Answer{}, badRequestError{msg: err.Error()}
+		}
+		a := seqAnswer("lulam", "", d)
+		a.Window = &WindowJSON{Gamma: win.Gamma, Kappa: win.Kappa}
+		return a, nil
+	}},
+	"ulam-mpc": {Ints: true, MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+		res, err := mpcdist.UlamDistanceMPCCtx(ctx, q.ASeq, q.BSeq, p)
+		if err != nil {
+			return Answer{}, err
+		}
+		return mpcAnswer("ulam-mpc", res), nil
+	}},
+	"edit-mpc": {MPC: true, MaxX: maxXEdit, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+		res, err := mpcdist.EditDistanceMPCCtx(ctx, []byte(q.A), []byte(q.B), p)
+		if err != nil {
+			return Answer{}, err
+		}
+		return mpcAnswer("edit-mpc", res), nil
+	}},
+	"edit-hss": {MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+		p.Ctx = ctx
+		res, err := mpcdist.EditDistanceHSS([]byte(q.A), []byte(q.B), p)
+		if err != nil {
+			return Answer{}, err
+		}
+		return mpcAnswer("edit-hss", res), nil
+	}},
+	"lcs-mpc": {MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+		p.Ctx = ctx
+		res, err := mpcdist.LCSMPC([]byte(q.A), []byte(q.B), p)
+		if err != nil {
+			return Answer{}, err
+		}
+		return mpcAnswer("lcs-mpc", res), nil
+	}},
+}
+
+// Algorithms lists the supported algorithm names, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(algos))
+	for name := range algos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

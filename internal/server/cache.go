@@ -1,0 +1,89 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is a thread-safe LRU result cache keyed on the canonical query
+// fingerprint (algorithm, input hash, parameters). A capacity of zero
+// disables caching: every Get misses and Put is a no-op.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val Answer
+}
+
+// NewCache returns an LRU cache holding up to capacity answers.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached answer for key, marking it most recently used.
+func (c *Cache) Get(key string) (Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return Answer{}, false
+}
+
+// Put stores an answer, evicting the least recently used entry when full.
+func (c *Cache) Put(key string, val Answer) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.cap,
+		Size:      c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in milliseconds; the last
+// implicit bucket is +Inf.
+var latencyBuckets = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000}
+
+// Histogram is a fixed-bucket latency histogram (milliseconds).
+type Histogram struct {
+	Count   uint64   `json:"count"`
+	SumMs   float64  `json:"sumMs"`
+	MaxMs   float64  `json:"maxMs"`
+	Buckets []uint64 `json:"buckets"` // len(latencyBuckets)+1, last is +Inf
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{Buckets: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *Histogram) observe(ms float64) {
+	h.Count++
+	h.SumMs += ms
+	if ms > h.MaxMs {
+		h.MaxMs = ms
+	}
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(latencyBuckets)]++
+}
+
+func (h *Histogram) clone() *Histogram {
+	c := *h
+	c.Buckets = append([]uint64(nil), h.Buckets...)
+	return &c
+}
+
+// AlgoStats aggregates the per-algorithm request and MPC-report counters.
+type AlgoStats struct {
+	Requests  uint64     `json:"requests"`
+	CacheHits uint64     `json:"cacheHits"`
+	Errors    uint64     `json:"errors"`
+	Latency   *Histogram `json:"latency"`
+	// MPC report aggregates over computed (uncached) executions.
+	MPCRuns       uint64 `json:"mpcRuns,omitempty"`
+	MaxRounds     int    `json:"maxRounds,omitempty"`
+	MaxMachines   int    `json:"maxMachines,omitempty"`
+	MaxWords      int    `json:"maxWords,omitempty"`
+	TotalOps      int64  `json:"totalOps,omitempty"`
+	TotalComm     int64  `json:"totalCommWords,omitempty"`
+	TotalCritical int64  `json:"totalCriticalOps,omitempty"`
+}
+
+// Metrics is the server-wide observability registry behind /metrics.
+type Metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests uint64
+	errors   uint64
+	panics   uint64
+	badInput uint64
+	timeouts uint64
+	batches  uint64
+	perAlgo  map[string]*AlgoStats
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{started: time.Now(), perAlgo: make(map[string]*AlgoStats)}
+}
+
+func (m *Metrics) algo(name string) *AlgoStats {
+	st, ok := m.perAlgo[name]
+	if !ok {
+		st = &AlgoStats{Latency: newHistogram()}
+		m.perAlgo[name] = st
+	}
+	return st
+}
+
+// Observe records one finished query.
+func (m *Metrics) Observe(algo string, elapsed time.Duration, cached bool, failed bool, rep *ReportJSON) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	st := m.algo(algo)
+	st.Requests++
+	st.Latency.observe(float64(elapsed.Nanoseconds()) / 1e6)
+	if cached {
+		st.CacheHits++
+	}
+	if failed {
+		m.errors++
+		st.Errors++
+	}
+	if rep != nil {
+		st.MPCRuns++
+		if rep.Rounds > st.MaxRounds {
+			st.MaxRounds = rep.Rounds
+		}
+		if rep.MaxMachines > st.MaxMachines {
+			st.MaxMachines = rep.MaxMachines
+		}
+		if rep.MaxWords > st.MaxWords {
+			st.MaxWords = rep.MaxWords
+		}
+		st.TotalOps += rep.TotalOps
+		st.TotalComm += rep.CommWords
+		st.TotalCritical += rep.CriticalOps
+	}
+}
+
+// ObserveBadInput counts a request rejected before dispatch (4xx).
+func (m *Metrics) ObserveBadInput() {
+	m.mu.Lock()
+	m.badInput++
+	m.requests++
+	m.mu.Unlock()
+}
+
+// ObserveTimeout counts a request aborted by deadline or disconnect.
+func (m *Metrics) ObserveTimeout() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
+}
+
+// ObserveBatch counts one batch request of the given size.
+func (m *Metrics) ObserveBatch() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
+
+// ObservePanic counts a recovered handler panic.
+func (m *Metrics) ObservePanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// Snapshot is the JSON shape served by /metrics.
+type Snapshot struct {
+	UptimeSeconds  float64               `json:"uptimeSeconds"`
+	Requests       uint64                `json:"requests"`
+	Errors         uint64                `json:"errors"`
+	Panics         uint64                `json:"panics"`
+	BadInput       uint64                `json:"badInput"`
+	Timeouts       uint64                `json:"timeouts"`
+	Batches        uint64                `json:"batches"`
+	LatencyBuckets []float64             `json:"latencyBucketsMs"`
+	Algorithms     map[string]*AlgoStats `json:"algorithms"`
+	Cache          CacheStats            `json:"cache"`
+	Pool           PoolStats             `json:"pool"`
+}
+
+// Snapshot copies the counters; cache and pool stats are filled by the
+// server, which owns those components.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	algs := make(map[string]*AlgoStats, len(m.perAlgo))
+	for name, st := range m.perAlgo {
+		c := *st
+		c.Latency = st.Latency.clone()
+		algs[name] = &c
+	}
+	return Snapshot{
+		UptimeSeconds:  time.Since(m.started).Seconds(),
+		Requests:       m.requests,
+		Errors:         m.errors,
+		Panics:         m.panics,
+		BadInput:       m.badInput,
+		Timeouts:       m.timeouts,
+		Batches:        m.batches,
+		LatencyBuckets: append([]float64(nil), latencyBuckets...),
+		Algorithms:     algs,
+	}
+}

@@ -1,0 +1,24 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// recoverMiddleware converts a handler panic into a 500 with a JSON body
+// instead of tearing down the connection (and, under http.Server, the
+// whole request goroutine's stack trace into the log). The panic counter
+// is exported via /metrics.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.ObservePanic()
+				// Headers may already be out; best effort.
+				writeJSON(w, http.StatusInternalServerError,
+					ErrorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

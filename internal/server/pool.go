@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Pool bounds the number of kernel executions running concurrently, so a
+// burst of requests shares the host's cores instead of each spawning an
+// unbounded simulation. Acquisition is context-aware: a caller whose
+// deadline expires while queued leaves the queue immediately.
+type Pool struct {
+	sem     chan struct{}
+	waiting atomic.Int64
+	running atomic.Int64
+	done    atomic.Uint64
+}
+
+// PoolStats is a snapshot of the pool counters.
+type PoolStats struct {
+	Size      int    `json:"size"`
+	Running   int64  `json:"running"`
+	Waiting   int64  `json:"waiting"`
+	Completed uint64 `json:"completed"`
+}
+
+// NewPool returns a pool admitting up to size concurrent executions.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Do runs f once a slot is free, in the calling goroutine. It returns
+// ctx.Err() without running f if ctx is done first (or already done).
+func (p *Pool) Do(ctx context.Context, f func()) error {
+	// The select below picks randomly when both channels are ready; an
+	// already-expired context must lose deterministically.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.waiting.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+		p.waiting.Add(-1)
+	case <-ctx.Done():
+		p.waiting.Add(-1)
+		return ctx.Err()
+	}
+	defer func() {
+		<-p.sem
+		p.done.Add(1)
+	}()
+	p.running.Add(1)
+	defer p.running.Add(-1)
+	f()
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:      cap(p.sem),
+		Running:   p.running.Load(),
+		Waiting:   p.waiting.Load(),
+		Completed: p.done.Load(),
+	}
+}

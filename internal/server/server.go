@@ -1,0 +1,323 @@
+// Package server exposes the repository's distance kernels — sequential,
+// approximate, and MPC-simulated — as a batched, cached HTTP/JSON query
+// service. It is stdlib-only, like the rest of the module.
+//
+// Endpoints:
+//
+//	POST /v1/distance    one pair, any algorithm
+//	POST /v1/batch       many pairs, fanned across the worker pool,
+//	                     results streamed back as NDJSON in completion order
+//	GET  /v1/algorithms  supported algorithm names
+//	GET  /metrics        request counts, latency histograms, cache and pool
+//	                     stats, per-algorithm MPC report aggregates (JSON)
+//	GET  /healthz        liveness
+//
+// Robustness: a bounded worker pool shares the host's cores across
+// requests, per-request timeouts propagate into the MPC simulator via
+// context (cancellation is checked between rounds), input sizes are
+// capped, handler panics are recovered to 500s, and repeated queries are
+// served from an LRU cache keyed on (algorithm, input hash, parameters).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mpcdist"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// PoolSize bounds concurrently executing kernels (0 = GOMAXPROCS).
+	PoolSize int
+	// CacheSize is the LRU capacity in answers (0 = 4096, negative = off).
+	CacheSize int
+	// RequestTimeout bounds one query's queue + compute time (0 = 30s).
+	// Batch requests share a single timeout across all their queries.
+	RequestTimeout time.Duration
+	// MaxInputLen caps each input: bytes per string, elements per
+	// sequence (0 = 1<<20).
+	MaxInputLen int
+	// MaxBatch caps the number of queries in one batch (0 = 1024).
+	MaxBatch int
+	// MaxBodyBytes caps a request body (0 = 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInputLen <= 0 {
+		c.MaxInputLen = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the HTTP query service. Construct with New.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.PoolSize),
+		cache:   NewCache(max(cfg.CacheSize, 0)),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/distance", s.handleDistance)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the full middleware-wrapped handler.
+func (s *Server) Handler() http.Handler {
+	return s.recoverMiddleware(s.mux)
+}
+
+// Metrics exposes the registry (for the binary's shutdown log and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// tooLargeError marks over-limit inputs that map to HTTP 413.
+type tooLargeError struct{ msg string }
+
+func (e tooLargeError) Error() string { return e.msg }
+
+// statusFor maps an answer error to its HTTP status.
+func statusFor(err error) int {
+	var br badRequestError
+	var tl tooLargeError
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.As(err, &tl):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// validate checks a query against the registry and limits, returning the
+// resolved spec and MPC parameters.
+func (s *Server) validate(q Query) (algoSpec, mpcdist.MPCParams, error) {
+	spec, ok := algos[q.Algo]
+	if !ok {
+		return spec, mpcdist.MPCParams{}, badRequestf("unknown algorithm %q (see /v1/algorithms)", q.Algo)
+	}
+	if spec.Ints {
+		if len(q.ASeq) > s.cfg.MaxInputLen || len(q.BSeq) > s.cfg.MaxInputLen {
+			return spec, mpcdist.MPCParams{}, tooLargeError{msg: fmt.Sprintf(
+				"sequence longer than the %d-element limit", s.cfg.MaxInputLen)}
+		}
+		// Reject repeats up front so every Ulam kernel sees valid input.
+		for _, seq := range [][]int{q.ASeq, q.BSeq} {
+			if err := mpcdist.CheckDistinct(seq); err != nil {
+				return spec, mpcdist.MPCParams{}, badRequestError{msg: err.Error()}
+			}
+		}
+	} else {
+		if len(q.A) > s.cfg.MaxInputLen || len(q.B) > s.cfg.MaxInputLen {
+			return spec, mpcdist.MPCParams{}, tooLargeError{msg: fmt.Sprintf(
+				"string longer than the %d-byte limit", s.cfg.MaxInputLen)}
+		}
+	}
+	p := mpcdist.MPCParams{X: q.X, Eps: q.Eps, Seed: q.Seed}
+	if spec.MPC {
+		if p.X == 0 {
+			p.X = 0.25
+		}
+		if p.X <= 0 || p.X >= spec.MaxX {
+			return spec, p, badRequestf("x = %v outside (0, %v) for algorithm %q", p.X, spec.MaxX, q.Algo)
+		}
+		if (spec.Ints && len(q.ASeq) == 0 && len(q.BSeq) == 0) ||
+			(!spec.Ints && len(q.A) == 0 && len(q.B) == 0) {
+			return spec, p, badRequestf("MPC algorithm %q requires non-empty input", q.Algo)
+		}
+	}
+	return spec, p, nil
+}
+
+// answer resolves one query: validation, cache lookup, pooled compute.
+func (s *Server) answer(ctx context.Context, q Query) (Answer, error) {
+	spec, params, err := s.validate(q)
+	if err != nil {
+		s.metrics.ObserveBadInput()
+		return Answer{}, err
+	}
+
+	key := q.CacheKey()
+	start := time.Now()
+	if a, ok := s.cache.Get(key); ok {
+		a.Cached = true
+		s.metrics.Observe(q.Algo, time.Since(start), true, false, nil)
+		return a, nil
+	}
+
+	var a Answer
+	var runErr error
+	poolErr := s.pool.Do(ctx, func() {
+		a, runErr = spec.run(ctx, q, params)
+	})
+	elapsed := time.Since(start)
+	if poolErr != nil {
+		// Deadline or disconnect while queued: the kernel never ran.
+		s.metrics.ObserveTimeout()
+		return Answer{}, poolErr
+	}
+	if runErr != nil {
+		if errors.Is(runErr, context.DeadlineExceeded) || errors.Is(runErr, context.Canceled) {
+			s.metrics.ObserveTimeout()
+		}
+		s.metrics.Observe(q.Algo, elapsed, false, true, nil)
+		return Answer{}, runErr
+	}
+	a.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
+	s.cache.Put(key, a)
+	s.metrics.Observe(q.Algo, elapsed, false, false, a.Report)
+	return a, nil
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	var q Query
+	if !s.decode(w, r, &q) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	a, err := s.answer(ctx, q)
+	if err != nil {
+		writeJSON(w, statusFor(err), ErrorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "empty batch"})
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge, ErrorBody{Error: fmt.Sprintf(
+			"batch of %d exceeds the %d-query limit", len(req.Queries), s.cfg.MaxBatch)})
+		return
+	}
+	s.metrics.ObserveBatch()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Fan the queries across the pool; stream each line as it completes.
+	// The pool (not the fan-out) bounds actual kernel concurrency.
+	items := make(chan BatchItem)
+	go func() {
+		defer close(items)
+		done := make(chan struct{}, len(req.Queries))
+		for i, q := range req.Queries {
+			go func(i int, q Query) {
+				defer func() { done <- struct{}{} }()
+				a, err := s.answer(ctx, q)
+				if err != nil {
+					items <- BatchItem{Index: i, Error: err.Error()}
+					return
+				}
+				items <- BatchItem{Index: i, Answer: &a}
+			}(i, q)
+		}
+		for range req.Queries {
+			<-done
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for item := range items {
+		if err := enc.Encode(item); err != nil {
+			// Client went away; drain so the workers can finish.
+			for range items {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": Algorithms()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.Cache = s.cache.Stats()
+	snap.Pool = s.pool.Stats()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decode reads a JSON body with the size cap applied; on failure it writes
+// the error response and returns false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		s.metrics.ObserveBadInput()
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, ErrorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"mpcdist"
+)
+
+// Query is one distance request. String algorithms read A/B; Ulam
+// algorithms read ASeq/BSeq (sequences of distinct integers). The MPC
+// parameters are optional and default server-side.
+type Query struct {
+	// Algo selects the kernel; see Algorithms for the supported names.
+	Algo string `json:"algo"`
+	A    string `json:"a,omitempty"`
+	B    string `json:"b,omitempty"`
+	ASeq []int  `json:"aSeq,omitempty"`
+	BSeq []int  `json:"bSeq,omitempty"`
+	// X is the MPC memory exponent (0 = default 0.25).
+	X float64 `json:"x,omitempty"`
+	// Eps is the approximation slack (0 = default 0.5).
+	Eps float64 `json:"eps,omitempty"`
+	// Seed drives the MPC sampling streams.
+	Seed int64 `json:"seed,omitempty"`
+	// Bound caps the distance for algo "edit-bounded".
+	Bound int `json:"bound,omitempty"`
+}
+
+// Answer is the response to a single query.
+type Answer struct {
+	Algo     string `json:"algo"`
+	Distance int    `json:"distance"`
+	// Window is the attaining substring interval (algo "lulam" only).
+	Window *WindowJSON `json:"window,omitempty"`
+	// Regime and Guess describe the accepted MPC regime (edit MPC only).
+	Regime string `json:"regime,omitempty"`
+	Guess  int    `json:"guess,omitempty"`
+	// Report holds the measured MPC model quantities (MPC algorithms only).
+	Report *ReportJSON `json:"report,omitempty"`
+	// Cached reports whether the answer was served from the LRU cache.
+	Cached bool `json:"cached"`
+	// ElapsedMs is the compute time of the original (uncached) execution.
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// WindowJSON mirrors mpcdist.Window for the wire.
+type WindowJSON struct {
+	Gamma int `json:"gamma"`
+	Kappa int `json:"kappa"`
+}
+
+// ReportJSON is the wire form of an mpc.Report summary (per-round detail
+// is dropped; the metrics endpoint aggregates it).
+type ReportJSON struct {
+	Rounds      int   `json:"rounds"`
+	MaxMachines int   `json:"maxMachines"`
+	MaxWords    int   `json:"maxWords"`
+	TotalOps    int64 `json:"totalOps"`
+	CriticalOps int64 `json:"criticalOps"`
+	CommWords   int64 `json:"commWords"`
+}
+
+func reportJSON(r mpcdist.Report) *ReportJSON {
+	return &ReportJSON{
+		Rounds:      r.NumRounds,
+		MaxMachines: r.MaxMachines,
+		MaxWords:    r.MaxWords,
+		TotalOps:    r.TotalOps,
+		CriticalOps: r.CriticalOps,
+		CommWords:   r.CommWords,
+	}
+}
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Queries []Query `json:"queries"`
+}
+
+// BatchItem is one NDJSON line of a batch response: the answer (or error)
+// for Queries[Index]. Lines are streamed in completion order.
+type BatchItem struct {
+	Index  int     `json:"index"`
+	Answer *Answer `json:"answer,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// CacheKey fingerprints the query: algorithm, parameters, and a SHA-256
+// over the inputs, so equal queries collide and unequal ones do not.
+func (q Query) CacheKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%v|%v|%d|%d|", q.Algo, q.X, q.Eps, q.Seed, q.Bound)
+	fmt.Fprintf(h, "a:%d:%s|b:%d:%s|", len(q.A), q.A, len(q.B), q.B)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(q.ASeq)))
+	h.Write(buf[:])
+	for _, v := range q.ASeq {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(q.BSeq)))
+	h.Write(buf[:])
+	for _, v := range q.BSeq {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
