@@ -18,12 +18,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mpcdist/internal/approx"
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/ulam"
 )
 
@@ -39,12 +41,24 @@ func main() {
 	bound := flag.Int("bound", 100, "distance cap for -algo bounded")
 	verbose := flag.Bool("v", false, "print per-round statistics")
 	verify := flag.Bool("verify", false, "also compute the exact distance and report the factor")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the MPC rounds to this file")
 	flag.Parse()
 
 	a := input(*aStr, *aFile)
 	b := input(*bStr, *bFile)
 	var ops stats.Ops
 	p := core.Params{X: *x, Eps: *eps, Seed: *seed}
+	if *traceOut != "" {
+		switch *algo {
+		case "mpc", "hss", "ulam-mpc":
+			chromeTrace = trace.NewChrome()
+			tracePath = *traceOut
+			p.Observer = chromeTrace
+		default:
+			die("-trace requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
+		}
+	}
+	defer flushTrace()
 
 	// Validate flags up front so bad input exits with a message, not a
 	// panic: the MPC exponent range depends on the algorithm (Theorem 4
@@ -119,9 +133,38 @@ func main() {
 	}
 }
 
+// chromeTrace and tracePath are set when -trace targets an MPC run; die
+// flushes the trace before exiting so a failed round is still viewable.
+var (
+	chromeTrace *trace.Chrome
+	tracePath   string
+)
+
 func die(format string, args ...any) {
+	flushTrace()
 	fmt.Fprintf(os.Stderr, "mpcdist: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// flushTrace writes the collected Chrome trace once; it clears the
+// exporter first so a write failure inside die cannot recurse.
+func flushTrace() {
+	chrome, path := chromeTrace, tracePath
+	chromeTrace = nil
+	if chrome == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		die("%v", err)
+	}
+	if _, err := chrome.WriteTo(f); err != nil {
+		die("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		die("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mpcdist: wrote trace to %s (open in Perfetto or chrome://tracing)\n", path)
 }
 
 // distinctInts parses a sequence and rejects repeated characters, which
@@ -179,15 +222,15 @@ func factorOf(value, exact int) float64 {
 
 func report(res core.Result, err error, verbose bool) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpcdist:", err)
-		os.Exit(1)
+		die("%v", err)
 	}
 	fmt.Println(res.Value)
 	fmt.Fprintf(os.Stderr, "regime=%s guess=%d %s\n", res.Regime, res.Guess, res.Report)
 	if verbose {
 		for _, r := range res.Report.Rounds {
-			fmt.Fprintf(os.Stderr, "  round %-20s machines=%-6d maxIn=%-8d maxOut=%-8d ops=%-10d crit=%d\n",
-				r.Name, r.Machines, r.MaxInWords, r.MaxOutWords, r.TotalOps, r.MaxMachineOps)
+			fmt.Fprintf(os.Stderr, "  round %-20s machines=%-6d maxIn=%-8d maxOut=%-8d ops=%-10d crit=%-10d elapsed=%-12s straggler=%.2f\n",
+				r.Name, r.Machines, r.MaxInWords, r.MaxOutWords, r.TotalOps, r.MaxMachineOps,
+				r.Elapsed.Round(time.Microsecond), r.Skew.Straggler)
 		}
 	}
 }

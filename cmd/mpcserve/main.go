@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	mpcserve -addr :8080 -pool 8 -cache 4096 -timeout 30s
+//	mpcserve -addr :8080 -pool 8 -cache 4096 -timeout 30s -ops :8081
 //
 // Endpoints (see docs/SERVER.md for the full reference):
 //
 //	POST /v1/distance    {"algo":"edit","a":"kitten","b":"sitting"}
+//	                     (?trace=1 attaches a Chrome trace of the MPC run)
 //	POST /v1/batch       {"queries":[...]} -> NDJSON stream
 //	GET  /v1/algorithms  supported algorithms
-//	GET  /metrics        counters, latency histograms, cache/pool stats
+//	GET  /metrics        Prometheus text exposition (?format=json for JSON)
 //	GET  /healthz        liveness
+//
+// With -ops a second listener serves /debug/pprof/ and /metrics for
+// operators only. Requests are logged as structured lines (text by
+// default, -log json for JSON) tagged with X-Request-Id.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -24,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,7 +47,21 @@ func main() {
 	maxInput := flag.Int("max-input", 1<<20, "max bytes per string / elements per sequence")
 	maxBatch := flag.Int("max-batch", 1024, "max queries per batch request")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	ops := flag.String("ops", "", "operator listen address for pprof + metrics (empty = off)")
+	logFormat := flag.String("log", "text", "request-log format: text, json, or off")
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		logger = nil
+	default:
+		log.Fatalf("mpcserve: -log must be text, json, or off (got %q)", *logFormat)
+	}
 
 	srv := server.New(server.Config{
 		PoolSize:       *pool,
@@ -49,6 +69,7 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxInputLen:    *maxInput,
 		MaxBatch:       *maxBatch,
+		Logger:         logger,
 	})
 
 	httpSrv := &http.Server{
@@ -64,6 +85,21 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("mpcserve: listening on %s", *addr)
 
+	var opsSrv *http.Server
+	if *ops != "" {
+		opsSrv = &http.Server{
+			Addr:              *ops,
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mpcserve: ops listener: %v", err)
+			}
+		}()
+		log.Printf("mpcserve: ops (pprof + metrics) on %s", *ops)
+	}
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("mpcserve: %v", err)
@@ -75,6 +111,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mpcserve: shutdown: %v", err)
+	}
+	if opsSrv != nil {
+		_ = opsSrv.Shutdown(shutdownCtx)
 	}
 	snap := srv.Metrics().Snapshot()
 	fmt.Printf("mpcserve: served %d requests (%d errors, %d timeouts, %d batches)\n",

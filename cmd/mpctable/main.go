@@ -8,9 +8,13 @@
 //	mpctable -table edit              # Theorem 9 vs HSS [20] rows
 //	mpctable -sweep machines          # machine-count exponent fit
 //	mpctable -sweep ulam              # Ulam total-work/machines fit
+//	mpctable -table ulam -trace t.json   # + Chrome trace of every round
 //
-// All quantities are model measurements (machines, rounds, words, DP
-// operations), not wall-clock times.
+// The model quantities (machines, rounds, words, DP operations) are
+// measurements of the simulation, not wall-clock claims; the elapsedMs and
+// straggler columns report real execution time and per-round load balance
+// of the simulator itself. With -trace, every MPC round is exported as a
+// Chrome trace-event file viewable in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"mpcdist/internal/core"
 	"mpcdist/internal/harness"
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 )
 
 func main() {
@@ -30,23 +35,45 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
 	seed := flag.Int64("seed", 1, "random seed")
 	small := flag.Bool("small", false, "use smaller sizes (faster)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all MPC rounds to this file")
 	flag.Parse()
+
+	base := core.Params{Eps: *eps, Seed: *seed}
+	var chrome *trace.Chrome
+	if *traceOut != "" {
+		chrome = trace.NewChrome()
+		base.Observer = chrome
+	}
 
 	switch {
 	case *table == "ulam":
-		runUlamTable(*eps, *seed, *small)
+		runUlamTable(base, *small)
 	case *table == "edit":
-		runEditTable(*eps, *seed, *small)
+		runEditTable(base, *small)
 	case *sweep == "machines":
-		runMachineSweep(*eps, *seed, *small)
+		runMachineSweep(base, *small)
 	case *sweep == "ulam":
-		runUlamSweep(*eps, *seed, *small)
+		runUlamSweep(base, *small)
 	case *sweep == "x":
-		runXSweep(*eps, *seed, *small)
+		runXSweep(base, *small)
 	default:
 		flag.Usage()
 		fmt.Fprintln(os.Stderr, "\nPick one of -table ulam|edit or -sweep machines|ulam.")
 		os.Exit(2)
+	}
+
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpctable: wrote trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }
 
@@ -55,7 +82,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runUlamTable(eps float64, seed int64, small bool) {
+func runUlamTable(base core.Params, small bool) {
 	fmt.Println("Table 1, row 'Ulam Distance (Theorem 4)': 1+eps, 2 rounds, Õ(n^x) machines, Õ(n^{1-x}) words each")
 	fmt.Println()
 	sizes := []int{512, 1024, 2048}
@@ -65,7 +92,9 @@ func runUlamTable(eps float64, seed int64, small bool) {
 	tb := stats.NewTable(harness.Columns()...)
 	for _, n := range sizes {
 		for _, x := range []float64{0.2, 0.3, 0.4} {
-			row, err := harness.UlamRow(n, n/10, core.Params{X: x, Eps: eps, Seed: seed}, true)
+			p := base
+			p.X = x
+			row, err := harness.UlamRow(n, n/10, p, true)
 			if err != nil {
 				fail(err)
 			}
@@ -76,7 +105,7 @@ func runUlamTable(eps float64, seed int64, small bool) {
 	fmt.Println("\nExpected shape: rounds = 2 always, factor <= 1+eps, machines ~ n^x.")
 }
 
-func runEditTable(eps float64, seed int64, small bool) {
+func runEditTable(base core.Params, small bool) {
 	fmt.Println("Table 1, rows 'Edit Distance': Theorem 9 (ours) vs Hajiaghayi et al. [20]")
 	fmt.Println("(The [11] row — 1+eps, O(log n) rounds, Õ(n^{8/9}) machines/memory — is dominated")
 	fmt.Println(" by [20] on every axis measured here and is reported analytically only; DESIGN.md #5.)")
@@ -88,7 +117,9 @@ func runEditTable(eps float64, seed int64, small bool) {
 	tb := stats.NewTable(harness.Columns()...)
 	for _, n := range sizes {
 		for _, x := range []float64{0.2, 0.25} {
-			ours, hss, err := harness.EditRows(n, n/40+1, core.Params{X: x, Eps: eps, Seed: seed}, true)
+			p := base
+			p.X = x
+			ours, hss, err := harness.EditRows(n, n/40+1, p, true)
 			if err != nil {
 				fail(err)
 			}
@@ -103,14 +134,16 @@ func runEditTable(eps float64, seed int64, small bool) {
 	fmt.Print(harness.Analytic(sizes[len(sizes)-1], 0.25))
 }
 
-func runMachineSweep(eps float64, seed int64, small bool) {
+func runMachineSweep(base core.Params, small bool) {
 	sizes := []int{400, 800, 1600, 3200, 6400}
 	if small {
 		sizes = []int{400, 800, 1600}
 	}
 	x := 0.25
 	fmt.Printf("Machine-count sweep at x = %.2f, planted distance ~ n^0.5:\n\n", x)
-	pts, err := harness.Sweep(sizes, 0.5, core.Params{X: x, Eps: eps, Seed: seed})
+	p := base
+	p.X = x
+	pts, err := harness.Sweep(sizes, 0.5, p)
 	if err != nil {
 		fail(err)
 	}
@@ -127,14 +160,14 @@ func runMachineSweep(eps float64, seed int64, small bool) {
 	fmt.Printf("Fitted exponents (total ops): ours n^%.2f vs hss n^%.2f\n", oo, ho)
 }
 
-func runXSweep(eps float64, seed int64, small bool) {
+func runXSweep(base core.Params, small bool) {
 	n := 3000
 	if small {
 		n = 1000
 	}
 	fmt.Printf("Machines vs memory exponent x at n = %d (planted distance n/40):\n\n", n)
 	xs := []float64{0.12, 0.16, 0.2, 0.25, 0.29}
-	pts, err := harness.XSweep(n, n/40, xs, core.Params{Eps: eps, Seed: seed})
+	pts, err := harness.XSweep(n, n/40, xs, base)
 	if err != nil {
 		fail(err)
 	}
@@ -150,14 +183,16 @@ func runXSweep(eps float64, seed int64, small bool) {
 
 func pow(n int, e float64) float64 { return math.Pow(float64(n), e) }
 
-func runUlamSweep(eps float64, seed int64, small bool) {
+func runUlamSweep(base core.Params, small bool) {
 	sizes := []int{512, 1024, 2048, 4096}
 	if small {
 		sizes = []int{512, 1024, 2048}
 	}
 	x := 0.3
 	fmt.Printf("Ulam scaling sweep at x = %.2f, planted distance ~ n^0.6:\n\n", x)
-	pts, err := harness.UlamScaling(sizes, 0.6, core.Params{X: x, Eps: eps, Seed: seed})
+	p := base
+	p.X = x
+	pts, err := harness.UlamScaling(sizes, 0.6, p)
 	if err != nil {
 		fail(err)
 	}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"mpcdist/internal/trace"
 )
 
 // normalizeResult zeroes the wall-clock fields of a result's reports so
@@ -16,7 +18,12 @@ func normalizeResult(res MPCResult) MPCResult {
 	zero := func(r Report) Report {
 		for i := range r.Rounds {
 			r.Rounds[i].Elapsed = 0
+			r.Rounds[i].QueueWait = 0
+			r.Rounds[i].Skew = trace.SkewStats{}
 		}
+		r.Elapsed = 0
+		r.QueueWait = 0
+		r.MaxStraggler = 0
 		return r
 	}
 	res.Report = zero(res.Report)

@@ -132,6 +132,11 @@ func aggregateReports(reps []mpc.Report) mpc.Report {
 		if r.CriticalOps > out.CriticalOps {
 			out.CriticalOps = r.CriticalOps
 		}
+		out.Elapsed += r.Elapsed
+		out.QueueWait += r.QueueWait
+		if r.MaxStraggler > out.MaxStraggler {
+			out.MaxStraggler = r.MaxStraggler
+		}
 		out.Rounds = append(out.Rounds, r.Rounds...)
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 
 	"mpcdist/internal/chain"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 )
 
 // Params configures an MPC execution. The zero value is not valid; use
@@ -39,6 +40,11 @@ type Params struct {
 	// each machine executes), so a caller-imposed timeout or disconnect
 	// aborts a long run promptly. Nil means no cancellation.
 	Ctx context.Context
+	// Observer, when non-nil, receives the cluster's execution events
+	// (round and per-machine spans; see internal/trace) — the hook behind
+	// the -trace flags and the server's inline traces. Must be safe for
+	// concurrent use.
+	Observer trace.Observer
 	// Solver selects the block/candidate pair kernel for the edit-distance
 	// small regime (see PairSolver).
 	Solver PairSolver
@@ -119,6 +125,7 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		Parallelism:  p.Parallelism,
 		Seed:         p.Seed,
 		Ctx:          p.Ctx,
+		Observer:     p.Observer,
 	})
 }
 

@@ -19,24 +19,28 @@ import (
 
 // Row is one measured Table 1 row.
 type Row struct {
-	Algo     string  // "ulam-mpc", "edit-mpc", "hss"
-	N        int     // input length
-	X        float64 // memory exponent
-	Eps      float64
-	Value    int     // computed distance
-	Exact    int     // oracle distance (-1 if skipped)
-	Factor   float64 // Value / Exact
-	Rounds   int
-	Machines int
-	MemWords int
-	TotalOps int64
-	CritOps  int64
+	Algo      string  // "ulam-mpc", "edit-mpc", "hss"
+	N         int     // input length
+	X         float64 // memory exponent
+	Eps       float64
+	Value     int     // computed distance
+	Exact     int     // oracle distance (-1 if skipped)
+	Factor    float64 // Value / Exact
+	Rounds    int
+	Machines  int
+	MemWords  int
+	TotalOps  int64
+	CritOps   int64
+	CommWords int64   // total communication volume across rounds
+	ElapsedMs float64 // machine-execution wall time (queueing excluded)
+	Straggler float64 // worst per-round max/mean machine-time ratio
 }
 
 // Columns returns the header cells matching Cells.
 func Columns() []string {
 	return []string{"algo", "n", "x", "eps", "value", "exact", "factor",
-		"rounds", "machines", "mem/machine", "totalOps", "criticalOps"}
+		"rounds", "machines", "mem/machine", "totalOps", "criticalOps",
+		"comm", "elapsedMs", "straggler"}
 }
 
 // Cells renders the row for stats.Table.
@@ -46,19 +50,27 @@ func (r Row) Cells() []interface{} {
 	if r.Exact < 0 {
 		exact, factor = "-", "-"
 	}
+	straggler := "-"
+	if r.Straggler > 0 {
+		straggler = fmt.Sprintf("%.2f", r.Straggler)
+	}
 	return []interface{}{r.Algo, r.N, r.X, r.Eps, r.Value, exact, factor,
-		r.Rounds, r.Machines, r.MemWords, r.TotalOps, r.CritOps}
+		r.Rounds, r.Machines, r.MemWords, r.TotalOps, r.CritOps,
+		r.CommWords, fmt.Sprintf("%.2f", r.ElapsedMs), straggler}
 }
 
 func fromResult(algo string, n int, p core.Params, res core.Result, exact int) Row {
 	row := Row{
 		Algo: algo, N: n, X: p.X, Eps: p.Eps,
 		Value: res.Value, Exact: exact,
-		Rounds:   res.Report.NumRounds,
-		Machines: res.Report.MaxMachines,
-		MemWords: res.Report.MaxWords,
-		TotalOps: res.Report.TotalOps,
-		CritOps:  res.Report.CriticalOps,
+		Rounds:    res.Report.NumRounds,
+		Machines:  res.Report.MaxMachines,
+		MemWords:  res.Report.MaxWords,
+		TotalOps:  res.Report.TotalOps,
+		CritOps:   res.Report.CriticalOps,
+		CommWords: res.Report.CommWords,
+		ElapsedMs: float64(res.Report.Elapsed.Nanoseconds()) / 1e6,
+		Straggler: res.Report.MaxStraggler,
 	}
 	if exact > 0 {
 		row.Factor = float64(res.Value) / float64(exact)

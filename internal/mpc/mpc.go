@@ -14,12 +14,16 @@
 // stream ("a random variable with a common seed between machines",
 // Algorithm 6 line 9); both are deterministic given Config.Seed, so
 // simulations are reproducible regardless of goroutine scheduling.
+//
+// Observability: an optional trace.Observer on Config receives round and
+// per-machine execution events (spans exclude semaphore queueing), which
+// the built-in observers turn into Chrome trace-event timelines and skew
+// summaries. With no observer registered the hooks are single nil checks.
 package mpc
 
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 )
 
 // Payload is any unit of data shipped between machines. Words reports its
@@ -60,18 +65,32 @@ type Config struct {
 	// abandoned request stops within one machine's work rather than
 	// running the remaining rounds to completion.
 	Ctx context.Context
+	// Observer, when non-nil, receives round and machine execution events
+	// (see internal/trace). Observers must be safe for concurrent use;
+	// a nil Observer costs one nil check per event site.
+	Observer trace.Observer
 }
 
 // RoundStats records the measured model quantities of one round.
 type RoundStats struct {
 	Name          string
-	Machines      int           // distinct machines that received input
-	MaxInWords    int           // max words resident on a machine (input)
-	MaxOutWords   int           // max words emitted by a machine
-	TotalOps      int64         // sum of ops over machines
-	MaxMachineOps int64         // max ops on one machine ("parallel time")
-	CommWords     int64         // words shipped between machines after the round
-	Elapsed       time.Duration // wall time of the simulated round
+	Machines      int   // distinct machines that received input
+	MaxInWords    int   // max words resident on a machine (input)
+	MaxOutWords   int   // max words emitted by a machine
+	TotalOps      int64 // sum of ops over machines
+	MaxMachineOps int64 // max ops on one machine ("parallel time")
+	CommWords     int64 // words shipped between machines after the round
+	// Elapsed is the wall time of machine execution only: first machine
+	// start to last machine end, with each machine's clock starting after
+	// it acquires an execution slot. Semaphore queueing is excluded and
+	// accounted separately in QueueWait.
+	Elapsed time.Duration
+	// QueueWait sums the time machines spent waiting for an execution
+	// slot (the host's parallelism limit, not a model quantity).
+	QueueWait time.Duration
+	// Skew summarizes the per-machine execution-time distribution:
+	// max/mean/p99 and the straggler ratio max/mean.
+	Skew trace.SkewStats
 }
 
 // Report aggregates a cluster's history in the shape of a Table 1 row.
@@ -83,12 +102,20 @@ type Report struct {
 	TotalOps    int64 // total computation across all rounds and machines
 	CriticalOps int64 // sum over rounds of the max per-machine ops
 	CommWords   int64 // total communication volume (words) across rounds
+	// Elapsed sums the rounds' machine-execution wall time; QueueWait sums
+	// their semaphore waits (host effects, excluded from Elapsed).
+	Elapsed   time.Duration
+	QueueWait time.Duration
+	// MaxStraggler is the worst per-round straggler ratio (max/mean
+	// machine time); 0 when no round recorded machine times.
+	MaxStraggler float64
 }
 
 // String renders the report as a single summary line.
 func (r Report) String() string {
-	return fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d",
-		r.NumRounds, r.MaxMachines, r.MaxWords, r.TotalOps, r.CriticalOps, r.CommWords)
+	return fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d elapsed=%s",
+		r.NumRounds, r.MaxMachines, r.MaxWords, r.TotalOps, r.CriticalOps, r.CommWords,
+		r.Elapsed.Round(time.Microsecond))
 }
 
 // Cluster is a simulated MPC deployment. The zero value is not usable;
@@ -127,6 +154,11 @@ func (c *Cluster) Report() Report {
 		rep.TotalOps += r.TotalOps
 		rep.CriticalOps += r.MaxMachineOps
 		rep.CommWords += r.CommWords
+		rep.Elapsed += r.Elapsed
+		rep.QueueWait += r.QueueWait
+		if r.Skew.Straggler > rep.MaxStraggler {
+			rep.MaxStraggler = r.Skew.Straggler
+		}
 	}
 	return rep
 }
@@ -141,9 +173,14 @@ type Ctx struct {
 	Round   int
 
 	cluster *Cluster
+	obs     trace.Observer
 	ops     stats.Ops
 	out     []Message
 	rng     *rand.Rand
+
+	inWords    int
+	start, end time.Time
+	queueWait  time.Duration
 }
 
 // Counter returns the machine's operation counter, suitable for passing to
@@ -156,15 +193,60 @@ func (x *Ctx) Ops(n int64) { x.ops.Add(n) }
 // Send emits a message for delivery at the start of the next round.
 func (x *Ctx) Send(to int, data Payload) {
 	x.out = append(x.out, Message{To: to, Data: data})
+	if x.obs != nil {
+		x.obs.Message(x.Round, x.Machine, to, data.Words())
+	}
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+func mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// Distinct stream kinds keep the per-machine and shared streams disjoint
+// even at coinciding (seed, round) coordinates.
+const (
+	kindMachine uint64 = 0x6d616368696e6500 // "machine\0"
+	kindShared  uint64 = 0x7368617265640000 // "shared\0\0"
+)
+
+// streamSeed derives the per-machine stream seed arithmetically — no
+// formatting or hashing allocations on the machine execution path.
+func streamSeed(seed int64, round, machine int) int64 {
+	h := mix64(uint64(seed) ^ kindMachine)
+	h = mix64(h ^ uint64(round))
+	h = mix64(h ^ uint64(machine))
+	return int64(h)
+}
+
+// fnvString is FNV-1a over a string without allocating a hash.Hash; tags
+// are the only string-keyed part of stream derivation.
+func fnvString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sharedSeed derives the shared-stream seed from (seed, round, tag).
+func sharedSeed(seed int64, round int, tag string) int64 {
+	h := mix64(uint64(seed) ^ kindShared)
+	h = mix64(h ^ uint64(round))
+	h = mix64(h ^ fnvString(tag))
+	return int64(h)
 }
 
 // Rand returns the machine's private random stream, deterministic in
-// (seed, round, machine).
+// (seed, round, machine). The stream is created on first use and cached
+// for the rest of the round.
 func (x *Ctx) Rand() *rand.Rand {
 	if x.rng == nil {
-		h := fnv.New64a()
-		fmt.Fprintf(h, "machine|%d|%d|%d", x.cluster.cfg.Seed, x.Round, x.Machine)
-		x.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+		x.rng = rand.New(rand.NewSource(streamSeed(x.cluster.cfg.Seed, x.Round, x.Machine)))
 	}
 	return x.rng
 }
@@ -179,9 +261,7 @@ func (x *Ctx) SharedRand(tag string) *rand.Rand {
 // SharedRand is the driver-side accessor for the same stream machines see
 // through Ctx.SharedRand.
 func (c *Cluster) SharedRand(round int, tag string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "shared|%d|%d|%s", c.cfg.Seed, round, tag)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return rand.New(rand.NewSource(sharedSeed(c.cfg.Seed, round, tag)))
 }
 
 // MachineFunc is the program a machine executes during a round: it reads
@@ -215,6 +295,34 @@ func PayloadWords(in []Payload) int {
 	return w
 }
 
+// span assembles the machine's trace span after execution; outbox volume
+// and fan-out are computed from the machine's own outbox, so this is safe
+// inside the machine goroutine.
+func (x *Ctx) span(name string) trace.MachineSpan {
+	outWords, fanout := 0, 0
+	seen := make(map[int]struct{}, 8)
+	for _, m := range x.out {
+		outWords += m.Data.Words()
+		if _, ok := seen[m.To]; !ok {
+			seen[m.To] = struct{}{}
+			fanout++
+		}
+	}
+	return trace.MachineSpan{
+		Round:     x.Round,
+		Name:      name,
+		Machine:   x.Machine,
+		Start:     x.start,
+		End:       x.end,
+		QueueWait: x.queueWait,
+		Ops:       x.ops.Count(),
+		InWords:   x.inWords,
+		OutWords:  outWords,
+		Sends:     len(x.out),
+		Fanout:    fanout,
+	}
+}
+
 // Run executes one synchronous round: every machine with input runs fn
 // concurrently, and the emitted messages are grouped by destination into
 // the next round's inputs (returned sorted by machine id for determinism).
@@ -223,15 +331,29 @@ func PayloadWords(in []Payload) int {
 func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (map[int][]Payload, error) {
 	round := len(c.rounds)
 	st := RoundStats{Name: name, Machines: len(inputs)}
+	obs := c.cfg.Observer
 	ctx := c.cfg.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if obs != nil {
+		obs.RoundStart(trace.RoundInfo{Round: round, Name: name, Machines: len(inputs)})
+	}
+	// fail closes the round for observers on pre-flight and post-run
+	// errors, so a violation is visible on a trace, not only in the error.
+	fail := func(err error) error {
+		if obs != nil {
+			sum := summary(round, &st)
+			sum.Err = err.Error()
+			obs.RoundEnd(sum)
+		}
+		return err
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mpc: round %q cancelled: %w", name, err)
+		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
 	}
 	if c.cfg.MaxMachines > 0 && len(inputs) > c.cfg.MaxMachines {
-		return nil, &MemoryError{Round: name, Words: len(inputs), Limit: c.cfg.MaxMachines, Kind: "machines"}
+		return nil, fail(&MemoryError{Round: name, Words: len(inputs), Limit: c.cfg.MaxMachines, Kind: "machines"})
 	}
 
 	ids := make([]int, 0, len(inputs))
@@ -241,37 +363,71 @@ func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (ma
 	sort.Ints(ids)
 
 	// Pre-check input residency.
-	for _, id := range ids {
+	inWords := make([]int, len(ids))
+	for k, id := range ids {
 		w := PayloadWords(inputs[id])
+		inWords[k] = w
 		if w > st.MaxInWords {
 			st.MaxInWords = w
 		}
 		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords {
-			return nil, &MemoryError{Round: name, Machine: id, Words: w, Limit: c.cfg.MachineWords, Kind: "input"}
+			return nil, fail(&MemoryError{Round: name, Machine: id, Words: w, Limit: c.cfg.MachineWords, Kind: "input"})
 		}
 	}
 
 	ctxs := make([]*Ctx, len(ids))
-	start := time.Now()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.cfg.Parallelism)
 	for k, id := range ids {
-		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c}
+		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, obs: obs, inWords: inWords[k]}
 		wg.Add(1)
 		go func(x *Ctx, in []Payload) {
 			defer wg.Done()
+			spawned := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if ctx.Err() != nil {
 				return
 			}
+			// The round clock starts here — after slot acquisition — so
+			// Elapsed measures machine execution, not semaphore queueing.
+			x.start = time.Now()
+			x.queueWait = x.start.Sub(spawned)
+			if x.obs != nil {
+				x.obs.MachineStart(x.Round, x.Machine, x.inWords)
+			}
 			fn(x, in)
+			x.end = time.Now()
+			if x.obs != nil {
+				x.obs.MachineEnd(x.span(name))
+			}
 		}(ctxs[k], inputs[id])
 	}
 	wg.Wait()
-	st.Elapsed = time.Since(start)
+
+	// Execution window and skew over the machines that actually ran.
+	var first, last time.Time
+	var durs []time.Duration
+	for _, x := range ctxs {
+		if x.start.IsZero() {
+			continue // cancelled before execution
+		}
+		if first.IsZero() || x.start.Before(first) {
+			first = x.start
+		}
+		if x.end.After(last) {
+			last = x.end
+		}
+		st.QueueWait += x.queueWait
+		durs = append(durs, x.end.Sub(x.start))
+	}
+	if !first.IsZero() {
+		st.Elapsed = last.Sub(first)
+	}
+	st.Skew = trace.Summarize(durs)
+
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mpc: round %q cancelled: %w", name, err)
+		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
 	}
 
 	next := make(map[int][]Payload)
@@ -298,8 +454,30 @@ func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (ma
 		}
 	}
 	c.rounds = append(c.rounds, st)
+	if obs != nil {
+		sum := summary(round, &st)
+		sum.Start, sum.End = first, last
+		if firstErr != nil {
+			sum.Err = firstErr.Error()
+		}
+		obs.RoundEnd(sum)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return next, nil
+}
+
+// summary converts the round's stats into the observer's closing event.
+func summary(round int, st *RoundStats) trace.RoundSummary {
+	return trace.RoundSummary{
+		Round:     round,
+		Name:      st.Name,
+		Machines:  st.Machines,
+		Elapsed:   st.Elapsed,
+		QueueWait: st.QueueWait,
+		TotalOps:  st.TotalOps,
+		CommWords: st.CommWords,
+		Skew:      st.Skew,
+	}
 }

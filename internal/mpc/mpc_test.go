@@ -2,8 +2,14 @@ package mpc
 
 import (
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"sort"
+	"strings"
 	"testing"
+	"time"
+
+	"mpcdist/internal/trace"
 )
 
 func TestRunSingleRoundRouting(t *testing.T) {
@@ -278,5 +284,220 @@ func TestParallelismEquivalence(t *testing.T) {
 		if v1[i] != v8[i] {
 			t.Fatalf("outputs differ at %d: %d vs %d", i, v1[i], v8[i])
 		}
+	}
+}
+
+func TestElapsedExcludesQueueWait(t *testing.T) {
+	// Four machines sleeping ~4ms each on a single execution slot: the
+	// later machines queue, so the summed QueueWait must clearly exceed
+	// zero while each machine's span stays near its sleep time.
+	c := NewCluster(Config{Parallelism: 1})
+	in := map[int][]Payload{}
+	for id := 0; id < 4; id++ {
+		in[id] = []Payload{Int(id)}
+	}
+	_, err := c.Run("sleepy", in, func(x *Ctx, _ []Payload) {
+		time.Sleep(4 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Report().Rounds[0]
+	if st.Elapsed < 12*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 12ms (4 serialized 4ms machines)", st.Elapsed)
+	}
+	if st.QueueWait < 12*time.Millisecond {
+		t.Errorf("QueueWait = %v, want >= 12ms (3 machines queued behind 4ms runs)", st.QueueWait)
+	}
+	if st.Skew.Max <= 0 || st.Skew.Mean <= 0 || st.Skew.Straggler < 1 {
+		t.Errorf("skew not recorded: %+v", st.Skew)
+	}
+	rep := c.Report()
+	if rep.Elapsed != st.Elapsed || rep.QueueWait != st.QueueWait {
+		t.Errorf("report aggregates: elapsed %v/%v queueWait %v/%v",
+			rep.Elapsed, st.Elapsed, rep.QueueWait, st.QueueWait)
+	}
+	if rep.MaxStraggler != st.Skew.Straggler {
+		t.Errorf("MaxStraggler = %v, want %v", rep.MaxStraggler, st.Skew.Straggler)
+	}
+}
+
+func TestObserverEventStream(t *testing.T) {
+	col := &trace.Collector{}
+	c := NewCluster(Config{Observer: col, MachineWords: 100})
+	in := map[int][]Payload{0: {Ints{1, 2, 3}}, 1: {Ints{4, 5}}}
+	mid, err := c.Run("stage1", in, func(x *Ctx, in []Payload) {
+		x.Ops(7)
+		x.Send(0, Int(1))
+		x.Send(1, Int(2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run("stage2", mid, func(x *Ctx, in []Payload) { x.Ops(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(col.Starts) != 2 || col.Starts[0].Name != "stage1" || col.Starts[1].Round != 1 {
+		t.Fatalf("round starts = %+v", col.Starts)
+	}
+	if len(col.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4 (2 machines x 2 rounds)", len(col.Spans))
+	}
+	for _, s := range col.Spans {
+		if s.End.Before(s.Start) || s.Start.IsZero() {
+			t.Errorf("span %d/%d has bad window %v..%v", s.Round, s.Machine, s.Start, s.End)
+		}
+		if s.Round == 0 && (s.Sends != 2 || s.Fanout != 2 || s.OutWords != 2 || s.Ops != 7) {
+			t.Errorf("round-0 span %+v", s)
+		}
+	}
+	if col.Messages != 4 || col.MsgWords != 4 {
+		t.Errorf("messages = %d words = %d, want 4/4", col.Messages, col.MsgWords)
+	}
+	if len(col.Summaries) != 2 || col.Summaries[0].Err != "" {
+		t.Fatalf("summaries = %+v", col.Summaries)
+	}
+	s0 := col.Summaries[0]
+	if s0.TotalOps != 14 || s0.CommWords != 4 || s0.Machines != 2 {
+		t.Errorf("summary 0 = %+v", s0)
+	}
+	if s0.Start.IsZero() || s0.End.Before(s0.Start) {
+		t.Errorf("summary window %v..%v", s0.Start, s0.End)
+	}
+}
+
+func TestMemoryErrorsSurfaceThroughObserver(t *testing.T) {
+	// Input violation: rejected pre-flight, observer still sees the round
+	// open and close with the error.
+	colIn := &trace.Collector{}
+	c := NewCluster(Config{MachineWords: 3, Observer: colIn})
+	_, err := c.Run("in", map[int][]Payload{0: {Ints{1, 2, 3}}}, func(x *Ctx, in []Payload) {})
+	var me *MemoryError
+	if !errors.As(err, &me) || me.Kind != "input" {
+		t.Fatalf("want input MemoryError, got %v", err)
+	}
+	if len(colIn.Summaries) != 1 || !strings.Contains(colIn.Summaries[0].Err, "input") {
+		t.Fatalf("input violation not observed: %+v", colIn.Summaries)
+	}
+	if len(colIn.Spans) != 0 {
+		t.Fatalf("no machine should have run, got %d spans", len(colIn.Spans))
+	}
+
+	// Output violation: detected after execution; spans exist and the
+	// closing summary carries the error.
+	colOut := &trace.Collector{}
+	c = NewCluster(Config{MachineWords: 4, Observer: colOut})
+	_, err = c.Run("out", map[int][]Payload{0: {Int(1)}}, func(x *Ctx, in []Payload) {
+		x.Send(1, Ints{1, 2, 3, 4, 5})
+	})
+	if !errors.As(err, &me) || me.Kind != "output" {
+		t.Fatalf("want output MemoryError, got %v", err)
+	}
+	if len(colOut.Summaries) != 1 || !strings.Contains(colOut.Summaries[0].Err, "output") {
+		t.Fatalf("output violation not observed: %+v", colOut.Summaries)
+	}
+	if len(colOut.Spans) != 1 {
+		t.Fatalf("machine ran, want its span observed: %d", len(colOut.Spans))
+	}
+
+	// Machine-count violation for completeness.
+	colM := &trace.Collector{}
+	c = NewCluster(Config{MaxMachines: 1, Observer: colM})
+	_, err = c.Run("m", map[int][]Payload{0: {Int(0)}, 1: {Int(1)}}, func(x *Ctx, in []Payload) {})
+	if !errors.As(err, &me) || me.Kind != "machines" {
+		t.Fatalf("want machines MemoryError, got %v", err)
+	}
+	if len(colM.Summaries) != 1 || !strings.Contains(colM.Summaries[0].Err, "machines") {
+		t.Fatalf("machines violation not observed: %+v", colM.Summaries)
+	}
+}
+
+func TestStreamSeedDeterminismAndSpread(t *testing.T) {
+	// Same coordinates, same seed; any coordinate change moves the seed.
+	if streamSeed(1, 2, 3) != streamSeed(1, 2, 3) {
+		t.Fatal("streamSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for round := 0; round < 10; round++ {
+		for machine := 0; machine < 10; machine++ {
+			s := streamSeed(42, round, machine)
+			if seen[s] {
+				t.Fatalf("stream seed collision at round=%d machine=%d", round, machine)
+			}
+			seen[s] = true
+		}
+	}
+	if sharedSeed(42, 0, "L") == sharedSeed(42, 0, "M") {
+		t.Error("shared seeds collide across tags")
+	}
+	if sharedSeed(42, 0, "L") == streamSeed(42, 0, 0) {
+		t.Error("shared and machine stream kinds collide")
+	}
+	if sharedSeed(42, 0, "L") != sharedSeed(42, 0, "L") {
+		t.Error("sharedSeed not deterministic")
+	}
+}
+
+// oldStreamSeed is the pre-optimization derivation (fnv over an
+// fmt-formatted key), kept here so the benchmark reports the delta.
+func oldStreamSeed(seed int64, round, machine int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "machine|%d|%d|%d", seed, round, machine)
+	return int64(h.Sum64())
+}
+
+func BenchmarkStreamSeedArithmetic(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += streamSeed(42, i&7, i&1023)
+	}
+	_ = sink
+}
+
+func BenchmarkStreamSeedFmtFNV(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += oldStreamSeed(42, i&7, i&1023)
+	}
+	_ = sink
+}
+
+// benchRun drives one round over many trivial machines, the regime where
+// per-event observer overhead would show up.
+func benchRun(b *testing.B, obs trace.Observer) {
+	in := map[int][]Payload{}
+	for id := 0; id < 256; id++ {
+		in[id] = []Payload{Int(id)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(Config{Observer: obs})
+		if _, err := c.Run("bench", in, func(x *Ctx, in []Payload) {
+			x.Ops(1)
+			x.Send(0, Int(1))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNoObserver(b *testing.B)  { benchRun(b, nil) }
+func BenchmarkRunNopObserver(b *testing.B) { benchRun(b, trace.Base{}) }
+
+func BenchmarkCtxRand(b *testing.B) {
+	c := NewCluster(Config{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := &Ctx{Machine: i & 1023, Round: i & 7, cluster: c}
+		_ = x.Rand().Int63()
+	}
+}
+
+func BenchmarkSharedRand(b *testing.B) {
+	c := NewCluster(Config{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.SharedRand(i&7, "reps").Int63()
 	}
 }

@@ -1,0 +1,21 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsHandler serves the operator-only endpoints: the Go pprof suite plus
+// a copy of /metrics. It is intentionally not part of Handler() — profiles
+// expose memory contents and must stay off the query port; mpcserve mounts
+// this on a separate opt-in listener (-ops).
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled so the module
+// stays stdlib-only. The JSON snapshot remains available at
+// /metrics?format=json; standard scrapers get this format by default.
+//
+// The latency histograms are kept internally in milliseconds (the JSON
+// shape is unchanged); here they are re-emitted in seconds as cumulative
+// _bucket/_sum/_count series, the Prometheus convention.
+
+// promContentType is the exposition-format content type scrapers expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// promWriter accumulates exposition lines with HELP/TYPE headers.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) value(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	p.printf("%s%s %s\n", name, labels, formatFloat(v))
+}
+
+// formatFloat renders integers without an exponent and everything else in
+// Go's shortest form, matching what Prometheus parsers accept.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func algoLabel(name string) string {
+	return `algo="` + escapeLabel(name) + `"`
+}
+
+// writePrometheus renders the full snapshot in exposition format.
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	p := &promWriter{w: w}
+
+	p.header("mpcserve_uptime_seconds", "Seconds since the metrics registry was created.", "gauge")
+	p.value("mpcserve_uptime_seconds", "", snap.UptimeSeconds)
+
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mpcserve_requests_total", "Requests received (including rejected ones).", snap.Requests},
+		{"mpcserve_errors_total", "Queries that failed during execution.", snap.Errors},
+		{"mpcserve_panics_total", "Handler panics recovered to 500s.", snap.Panics},
+		{"mpcserve_bad_input_total", "Requests rejected before dispatch (4xx).", snap.BadInput},
+		{"mpcserve_timeouts_total", "Queries aborted by deadline or disconnect.", snap.Timeouts},
+		{"mpcserve_batches_total", "Batch requests received.", snap.Batches},
+	}
+	for _, c := range counters {
+		p.header(c.name, c.help, "counter")
+		p.value(c.name, "", float64(c.v))
+	}
+
+	algoNames := make([]string, 0, len(snap.Algorithms))
+	for name := range snap.Algorithms {
+		algoNames = append(algoNames, name)
+	}
+	sort.Strings(algoNames)
+
+	p.header("mpcserve_algo_requests_total", "Requests per algorithm.", "counter")
+	for _, name := range algoNames {
+		p.value("mpcserve_algo_requests_total", algoLabel(name), float64(snap.Algorithms[name].Requests))
+	}
+	p.header("mpcserve_algo_cache_hits_total", "Cache-served answers per algorithm.", "counter")
+	for _, name := range algoNames {
+		p.value("mpcserve_algo_cache_hits_total", algoLabel(name), float64(snap.Algorithms[name].CacheHits))
+	}
+	p.header("mpcserve_algo_errors_total", "Failed queries per algorithm.", "counter")
+	for _, name := range algoNames {
+		p.value("mpcserve_algo_errors_total", algoLabel(name), float64(snap.Algorithms[name].Errors))
+	}
+
+	// Latency histograms: cumulative buckets in seconds.
+	p.header("mpcserve_request_duration_seconds", "Query latency (queue + compute).", "histogram")
+	for _, name := range algoNames {
+		h := snap.Algorithms[name].Latency
+		if h == nil {
+			continue
+		}
+		label := algoLabel(name)
+		cum := uint64(0)
+		for i, ub := range snap.LatencyBuckets {
+			cum += h.Buckets[i]
+			p.value("mpcserve_request_duration_seconds_bucket",
+				label+`,le="`+formatFloat(ub/1000)+`"`, float64(cum))
+		}
+		p.value("mpcserve_request_duration_seconds_bucket", label+`,le="+Inf"`, float64(h.Count))
+		p.value("mpcserve_request_duration_seconds_sum", label, h.SumMs/1000)
+		p.value("mpcserve_request_duration_seconds_count", label, float64(h.Count))
+	}
+
+	// MPC model aggregates over computed (uncached) runs.
+	mpcCounters := []struct {
+		name, help string
+		get        func(*AlgoStats) float64
+	}{
+		{"mpcserve_mpc_runs_total", "Completed MPC simulations.", func(a *AlgoStats) float64 { return float64(a.MPCRuns) }},
+		{"mpcserve_mpc_total_ops_total", "Total simulated operations.", func(a *AlgoStats) float64 { return float64(a.TotalOps) }},
+		{"mpcserve_mpc_comm_words_total", "Total simulated communication volume (words).", func(a *AlgoStats) float64 { return float64(a.TotalComm) }},
+		{"mpcserve_mpc_critical_ops_total", "Total critical-path operations.", func(a *AlgoStats) float64 { return float64(a.TotalCritical) }},
+	}
+	for _, c := range mpcCounters {
+		p.header(c.name, c.help, "counter")
+		for _, name := range algoNames {
+			st := snap.Algorithms[name]
+			if st.MPCRuns == 0 {
+				continue
+			}
+			p.value(c.name, algoLabel(name), c.get(st))
+		}
+	}
+	mpcGauges := []struct {
+		name, help string
+		get        func(*AlgoStats) float64
+	}{
+		{"mpcserve_mpc_max_rounds", "Max rounds observed in one simulation.", func(a *AlgoStats) float64 { return float64(a.MaxRounds) }},
+		{"mpcserve_mpc_max_machines", "Max machines observed in one simulation.", func(a *AlgoStats) float64 { return float64(a.MaxMachines) }},
+		{"mpcserve_mpc_max_words", "Max per-machine words observed in one simulation.", func(a *AlgoStats) float64 { return float64(a.MaxWords) }},
+	}
+	for _, g := range mpcGauges {
+		p.header(g.name, g.help, "gauge")
+		for _, name := range algoNames {
+			st := snap.Algorithms[name]
+			if st.MPCRuns == 0 {
+				continue
+			}
+			p.value(g.name, algoLabel(name), g.get(st))
+		}
+	}
+
+	// Pool and cache.
+	p.header("mpcserve_pool_size", "Worker-pool capacity.", "gauge")
+	p.value("mpcserve_pool_size", "", float64(snap.Pool.Size))
+	p.header("mpcserve_pool_running", "Kernels executing right now.", "gauge")
+	p.value("mpcserve_pool_running", "", float64(snap.Pool.Running))
+	p.header("mpcserve_pool_waiting", "Queries queued for a pool slot.", "gauge")
+	p.value("mpcserve_pool_waiting", "", float64(snap.Pool.Waiting))
+	p.header("mpcserve_pool_completed_total", "Pool executions completed.", "counter")
+	p.value("mpcserve_pool_completed_total", "", float64(snap.Pool.Completed))
+
+	p.header("mpcserve_cache_capacity", "LRU cache capacity in answers.", "gauge")
+	p.value("mpcserve_cache_capacity", "", float64(snap.Cache.Capacity))
+	p.header("mpcserve_cache_size", "Answers currently cached.", "gauge")
+	p.value("mpcserve_cache_size", "", float64(snap.Cache.Size))
+	p.header("mpcserve_cache_hits_total", "Cache hits.", "counter")
+	p.value("mpcserve_cache_hits_total", "", float64(snap.Cache.Hits))
+	p.header("mpcserve_cache_misses_total", "Cache misses.", "counter")
+	p.value("mpcserve_cache_misses_total", "", float64(snap.Cache.Misses))
+	p.header("mpcserve_cache_evictions_total", "Cache evictions.", "counter")
+	p.value("mpcserve_cache_evictions_total", "", float64(snap.Cache.Evictions))
+
+	return p.err
+}

@@ -4,13 +4,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/distance    one pair, any algorithm
+//	POST /v1/distance    one pair, any algorithm; ?trace=1 attaches a
+//	                     Chrome trace of the MPC run to the answer
 //	POST /v1/batch       many pairs, fanned across the worker pool,
 //	                     results streamed back as NDJSON in completion order
 //	GET  /v1/algorithms  supported algorithm names
 //	GET  /metrics        request counts, latency histograms, cache and pool
-//	                     stats, per-algorithm MPC report aggregates (JSON)
+//	                     stats, per-algorithm MPC report aggregates —
+//	                     Prometheus text exposition (?format=json for the
+//	                     JSON snapshot)
 //	GET  /healthz        liveness
+//
+// OpsHandler serves pprof and a metrics copy for a separate operator
+// listener. Requests are tagged with X-Request-Id and logged through the
+// configured slog.Logger.
 //
 // Robustness: a bounded worker pool shares the host's cores across
 // requests, per-request timeouts propagate into the MPC simulator via
@@ -24,11 +31,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
 	"mpcdist"
+	"mpcdist/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -48,6 +57,8 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps a request body (0 = 64 MiB).
 	MaxBodyBytes int64
+	// Logger receives structured request and query logs (nil = discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +90,7 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	mux     *http.ServeMux
+	log     *slog.Logger
 }
 
 // New returns a server with the given configuration.
@@ -90,6 +102,7 @@ func New(cfg Config) *Server {
 		cache:   NewCache(max(cfg.CacheSize, 0)),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		log:     slogOrDiscard(cfg.Logger),
 	}
 	s.mux.HandleFunc("POST /v1/distance", s.handleDistance)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -99,9 +112,11 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the full middleware-wrapped handler.
+// Handler returns the full middleware-wrapped handler: request-ID +
+// access logging outermost (so a recovered panic still produces one
+// access-log line with its request ID), panic recovery inside it.
 func (s *Server) Handler() http.Handler {
-	return s.recoverMiddleware(s.mux)
+	return s.logMiddleware(s.recoverMiddleware(s.mux))
 }
 
 // Metrics exposes the registry (for the binary's shutdown log and tests).
@@ -171,19 +186,34 @@ func (s *Server) validate(q Query) (algoSpec, mpcdist.MPCParams, error) {
 }
 
 // answer resolves one query: validation, cache lookup, pooled compute.
-func (s *Server) answer(ctx context.Context, q Query) (Answer, error) {
+// With wantTrace a Chrome trace observer is attached to the MPC run and
+// the cache is bypassed both ways (a traced answer is never representative
+// of, or reusable as, the plain one).
+func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, error) {
 	spec, params, err := s.validate(q)
 	if err != nil {
 		s.metrics.ObserveBadInput()
 		return Answer{}, err
 	}
+	if wantTrace && !spec.MPC {
+		s.metrics.ObserveBadInput()
+		return Answer{}, badRequestf("trace=1 requires an MPC algorithm, %q runs sequentially", q.Algo)
+	}
+	var chrome *trace.Chrome
+	if wantTrace {
+		chrome = trace.NewChrome()
+		params.Observer = chrome
+	}
 
 	key := q.CacheKey()
 	start := time.Now()
-	if a, ok := s.cache.Get(key); ok {
-		a.Cached = true
-		s.metrics.Observe(q.Algo, time.Since(start), true, false, nil)
-		return a, nil
+	if !wantTrace {
+		if a, ok := s.cache.Get(key); ok {
+			a.Cached = true
+			s.metrics.Observe(q.Algo, time.Since(start), true, false, nil)
+			s.logQuery(ctx, q, &a, time.Since(start), nil)
+			return a, nil
+		}
 	}
 
 	var a Answer
@@ -195,6 +225,7 @@ func (s *Server) answer(ctx context.Context, q Query) (Answer, error) {
 	if poolErr != nil {
 		// Deadline or disconnect while queued: the kernel never ran.
 		s.metrics.ObserveTimeout()
+		s.logQuery(ctx, q, nil, elapsed, poolErr)
 		return Answer{}, poolErr
 	}
 	if runErr != nil {
@@ -202,12 +233,43 @@ func (s *Server) answer(ctx context.Context, q Query) (Answer, error) {
 			s.metrics.ObserveTimeout()
 		}
 		s.metrics.Observe(q.Algo, elapsed, false, true, nil)
+		s.logQuery(ctx, q, nil, elapsed, runErr)
 		return Answer{}, runErr
 	}
 	a.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
-	s.cache.Put(key, a)
+	if chrome != nil {
+		raw, jerr := chrome.JSON()
+		if jerr != nil {
+			s.logQuery(ctx, q, nil, elapsed, jerr)
+			return Answer{}, jerr
+		}
+		a.Trace = raw
+	} else {
+		s.cache.Put(key, a)
+	}
 	s.metrics.Observe(q.Algo, elapsed, false, false, a.Report)
+	s.logQuery(ctx, q, &a, elapsed, nil)
 	return a, nil
+}
+
+// logQuery emits one structured line per resolved query, carrying the
+// middleware's request ID so batch sub-queries correlate with their
+// request's access-log line.
+func (s *Server) logQuery(ctx context.Context, q Query, a *Answer, elapsed time.Duration, err error) {
+	attrs := []any{
+		"requestId", RequestID(ctx),
+		"algo", q.Algo,
+		"durationMs", float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if err != nil {
+		s.log.Error("query failed", append(attrs, "error", err.Error())...)
+		return
+	}
+	attrs = append(attrs, "distance", a.Distance, "cached", a.Cached)
+	if a.Report != nil {
+		attrs = append(attrs, "rounds", a.Report.Rounds, "machines", a.Report.MaxMachines)
+	}
+	s.log.Info("query", attrs...)
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -217,7 +279,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	a, err := s.answer(ctx, q)
+	a, err := s.answer(ctx, q, r.URL.Query().Get("trace") == "1")
 	if err != nil {
 		writeJSON(w, statusFor(err), ErrorBody{Error: err.Error()})
 		return
@@ -253,7 +315,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, q := range req.Queries {
 			go func(i int, q Query) {
 				defer func() { done <- struct{}{} }()
-				a, err := s.answer(ctx, q)
+				a, err := s.answer(ctx, q, false)
 				if err != nil {
 					items <- BatchItem{Index: i, Error: err.Error()}
 					return
@@ -287,11 +349,19 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": Algorithms()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves Prometheus text exposition by default (what
+// scrapers expect) and the original JSON snapshot at ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
 	snap.Pool = s.pool.Stats()
-	writeJSON(w, http.StatusOK, snap)
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = writePrometheus(w, snap)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

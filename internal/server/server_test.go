@@ -56,7 +56,7 @@ func decodeAnswer(t *testing.T, resp *http.Response) Answer {
 
 func metricsSnapshot(t *testing.T, base string) Snapshot {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"mpcdist"
@@ -44,6 +45,9 @@ type Answer struct {
 	Cached bool `json:"cached"`
 	// ElapsedMs is the compute time of the original (uncached) execution.
 	ElapsedMs float64 `json:"elapsedMs"`
+	// Trace is the Chrome trace-event file of the MPC run, present only
+	// when the query asked for it with ?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // WindowJSON mirrors mpcdist.Window for the wire.

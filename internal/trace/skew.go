@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SkewStats summarizes the distribution of per-machine execution times
+// within a round. Straggler is Max/Mean — 1.0 means perfectly balanced
+// machines; large values mean the round's wall time is dominated by a
+// straggler, the effect that separates the paper's "total work" from its
+// "parallel time" column.
+type SkewStats struct {
+	Max       time.Duration
+	Mean      time.Duration
+	P99       time.Duration
+	Straggler float64
+}
+
+// Summarize computes the skew statistics of a set of machine times. It
+// returns the zero value for an empty set. P99 is the nearest-rank 99th
+// percentile (the max for fewer than 100 machines).
+func Summarize(times []time.Duration) SkewStats {
+	if len(times) == 0 {
+		return SkewStats{}
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	st := SkewStats{
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / time.Duration(len(sorted)),
+	}
+	// Nearest-rank percentile: ceil(0.99 * n) as a 1-based rank.
+	rank := (99*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	st.P99 = sorted[rank-1]
+	if st.Mean > 0 {
+		st.Straggler = float64(st.Max) / float64(st.Mean)
+	} else if st.Max == 0 {
+		// All-zero times (degenerately fast machines): balanced by definition.
+		st.Straggler = 1
+	}
+	return st
+}
+
+// SkewAnalyzer is an Observer that accumulates per-round machine spans and
+// recomputes skew statistics independently of the simulator's own
+// RoundStats — useful when only an Observer can be attached, and as a
+// cross-check in tests.
+type SkewAnalyzer struct {
+	Base
+	mu     sync.Mutex
+	open   map[int][]time.Duration // round -> machine times
+	rounds []RoundSkew
+}
+
+// RoundSkew is one analyzed round.
+type RoundSkew struct {
+	Round    int
+	Name     string
+	Machines int
+	Skew     SkewStats
+}
+
+// NewSkewAnalyzer returns an empty analyzer.
+func NewSkewAnalyzer() *SkewAnalyzer {
+	return &SkewAnalyzer{open: make(map[int][]time.Duration)}
+}
+
+// MachineEnd records the span's execution time.
+func (a *SkewAnalyzer) MachineEnd(s MachineSpan) {
+	a.mu.Lock()
+	a.open[s.Round] = append(a.open[s.Round], s.Duration())
+	a.mu.Unlock()
+}
+
+// RoundEnd closes the round and computes its skew summary.
+func (a *SkewAnalyzer) RoundEnd(r RoundSummary) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rounds = append(a.rounds, RoundSkew{
+		Round:    r.Round,
+		Name:     r.Name,
+		Machines: r.Machines,
+		Skew:     Summarize(a.open[r.Round]),
+	})
+	delete(a.open, r.Round)
+}
+
+// Rounds returns the analyzed rounds in completion order.
+func (a *SkewAnalyzer) Rounds() []RoundSkew {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]RoundSkew(nil), a.rounds...)
+}
+
+// Collector is an Observer that records every event verbatim — the
+// simplest way to assert on the simulator's event stream in tests.
+type Collector struct {
+	mu        sync.Mutex
+	Starts    []RoundInfo
+	Spans     []MachineSpan
+	Messages  int
+	MsgWords  int64
+	Summaries []RoundSummary
+}
+
+func (c *Collector) RoundStart(r RoundInfo) {
+	c.mu.Lock()
+	c.Starts = append(c.Starts, r)
+	c.mu.Unlock()
+}
+
+func (c *Collector) MachineStart(round, machine, inWords int) {}
+
+func (c *Collector) MachineEnd(s MachineSpan) {
+	c.mu.Lock()
+	c.Spans = append(c.Spans, s)
+	c.mu.Unlock()
+}
+
+func (c *Collector) Message(round, from, to, words int) {
+	c.mu.Lock()
+	c.Messages++
+	c.MsgWords += int64(words)
+	c.mu.Unlock()
+}
+
+func (c *Collector) RoundEnd(r RoundSummary) {
+	c.mu.Lock()
+	c.Summaries = append(c.Summaries, r)
+	c.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+// Package trace defines the observability layer of the MPC simulator: an
+// Observer interface that internal/mpc invokes from Cluster.Run, plus the
+// built-in observers — a Chrome trace-event (Perfetto-compatible) exporter
+// that renders a simulation as a timeline with one track per simulated
+// machine, and a skew analyzer quantifying straggler effects.
+//
+// The quantities observed here are exactly the ones the paper's Table 1 is
+// stated in, resolved to per-machine granularity: a MachineSpan carries the
+// machine's wall time excluding semaphore queueing, its operation count,
+// and its input/output volume, so the gap between "total work" and
+// "parallel time" — the axis on which the paper improves over HSS [20] —
+// becomes visible per round instead of only as an end-of-run aggregate.
+//
+// Observers may be invoked concurrently from the goroutines simulating
+// machines; implementations must be safe for concurrent use. The built-in
+// observers lock internally. A nil Observer on mpc.Config costs one nil
+// check per event site (benchmarked in internal/mpc).
+package trace
+
+import "time"
+
+// RoundInfo announces a round about to execute.
+type RoundInfo struct {
+	Round    int    // zero-based round index within the cluster's history
+	Name     string // the round's label, e.g. "ulam:solve"
+	Machines int    // machines that received input this round
+}
+
+// MachineSpan is the execution record of one machine in one round. Start
+// and End delimit the machine's actual execution window — the clock starts
+// after the simulator's parallelism semaphore is acquired, so the span
+// excludes queueing and measures only simulated work.
+type MachineSpan struct {
+	Round   int
+	Name    string // round name
+	Machine int
+	// Start and End delimit execution, excluding semaphore wait.
+	Start time.Time
+	End   time.Time
+	// QueueWait is how long the machine waited for an execution slot.
+	QueueWait time.Duration
+	// Ops is the machine's elementary-operation count.
+	Ops int64
+	// InWords and OutWords are the resident input and emitted output sizes.
+	InWords  int
+	OutWords int
+	// Sends counts emitted messages; Fanout counts distinct destinations.
+	Sends  int
+	Fanout int
+}
+
+// Duration returns the span's execution time.
+func (s MachineSpan) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// RoundSummary closes a round with its aggregate measurements. Err is the
+// simulator's error ("input"/"output" memory violations, the machine-count
+// cap, or cancellation) when the round failed, empty on success.
+type RoundSummary struct {
+	Round    int
+	Name     string
+	Machines int
+	// Start and End delimit the round's execution window: first machine
+	// start to last machine end (zero when no machine ran).
+	Start time.Time
+	End   time.Time
+	// Elapsed is End - Start; QueueWait sums the machines' slot waits.
+	Elapsed   time.Duration
+	QueueWait time.Duration
+	TotalOps  int64
+	CommWords int64
+	// Skew summarizes the distribution of per-machine execution times.
+	Skew SkewStats
+	Err  string
+}
+
+// Observer receives the simulator's execution events. RoundStart and
+// RoundEnd are invoked from the driving goroutine; MachineStart,
+// MachineEnd, and Message are invoked concurrently from the machine
+// goroutines, so implementations must be safe for concurrent use.
+type Observer interface {
+	RoundStart(r RoundInfo)
+	MachineStart(round, machine, inWords int)
+	MachineEnd(s MachineSpan)
+	// Message reports one emitted message (from -> to, words) during a round.
+	Message(round, from, to, words int)
+	RoundEnd(r RoundSummary)
+}
+
+// Base is a no-op Observer for embedding: an observer interested in a
+// subset of events embeds Base and overrides what it needs.
+type Base struct{}
+
+func (Base) RoundStart(RoundInfo)     {}
+func (Base) MachineStart(_, _, _ int) {}
+func (Base) MachineEnd(MachineSpan)   {}
+func (Base) Message(_, _, _, _ int)   {}
+func (Base) RoundEnd(RoundSummary)    {}
+
+// Multi fans every event out to several observers in order. A nil entry is
+// skipped, so Multi(a, nil) is usable without pre-filtering.
+func Multi(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) RoundStart(r RoundInfo) {
+	for _, o := range m {
+		o.RoundStart(r)
+	}
+}
+
+func (m multi) MachineStart(round, machine, inWords int) {
+	for _, o := range m {
+		o.MachineStart(round, machine, inWords)
+	}
+}
+
+func (m multi) MachineEnd(s MachineSpan) {
+	for _, o := range m {
+		o.MachineEnd(s)
+	}
+}
+
+func (m multi) Message(round, from, to, words int) {
+	for _, o := range m {
+		o.Message(round, from, to, words)
+	}
+}
+
+func (m multi) RoundEnd(r RoundSummary) {
+	for _, o := range m {
+		o.RoundEnd(r)
+	}
+}
