@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"time"
@@ -52,6 +53,25 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// validRequestID bounds what we accept from an inbound X-Request-Id: IDs
+// are echoed into the response and every log line, so an uncapped value
+// lets a client inflate logs or smuggle arbitrary content into them.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // statusRecorder captures the status code for the access log while passing
 // Flush through so NDJSON batch streaming keeps working.
 type statusRecorder struct {
@@ -80,12 +100,13 @@ func (r *statusRecorder) Flush() {
 }
 
 // logMiddleware assigns each request an ID (honoring an inbound
-// X-Request-Id), threads it through the context, echoes it in the
-// response, and writes one structured access-log line per request.
+// X-Request-Id when it passes validRequestID), threads it through the
+// context, echoes it in the response, and writes one structured
+// access-log line per request.
 func (s *Server) logMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
-		if id == "" {
+		if !validRequestID(id) {
 			id = newRequestID()
 		}
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
@@ -112,5 +133,5 @@ func slogOrDiscard(l *slog.Logger) *slog.Logger {
 	if l != nil {
 		return l
 	}
-	return slog.New(slog.DiscardHandler)
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

@@ -19,10 +19,12 @@ import (
 // promContentType is the exposition-format content type scrapers expect.
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// escapeLabel escapes a label value per the exposition format.
+// labelEscaper escapes label values per the exposition format. Hoisted so
+// the scrape path doesn't rebuild it once per labeled series.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
 func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
-	return r.Replace(v)
+	return labelEscaper.Replace(v)
 }
 
 // promWriter accumulates exposition lines with HELP/TYPE headers.

@@ -16,7 +16,13 @@ import (
 // machine) carrying the machine's ops, words, and fan-out as args.
 //
 // Events are buffered in memory; call WriteTo (or JSON) after the
-// simulation finishes. The exporter is safe for concurrent use.
+// simulation finishes. The exporter is safe for concurrent use by the
+// machine goroutines of a single cluster run, and successive runs may
+// reuse one exporter (each shows up as its own process); but because run
+// boundaries are inferred from round-index monotonicity in RoundStart, a
+// single Chrome must NOT observe two clusters running concurrently —
+// interleaved rounds would scramble the process assignment. Give each
+// concurrent run its own Chrome instead.
 type Chrome struct {
 	mu        sync.Mutex
 	spans     []chromeSpan
