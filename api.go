@@ -12,6 +12,7 @@ import (
 	"mpcdist/internal/lis"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/ulam"
 )
 
@@ -26,6 +27,22 @@ type MPCResult = core.Result
 
 // Report aggregates the per-round measurements of a simulated cluster.
 type Report = mpc.Report
+
+// Phase labels the paper phase a round belongs to (partition, candidates,
+// graph, chain); every simulated round carries exactly one.
+type Phase = trace.Phase
+
+// PhaseStats aggregates the Table 1 quantities of one phase of a run.
+type PhaseStats = mpc.PhaseStats
+
+// PhaseProfile is a Report re-aggregated by paper phase, in canonical
+// phase order.
+type PhaseProfile = mpc.PhaseProfile
+
+// Profile groups a report's rounds by paper phase. For a single-cluster
+// report the profile partitions the report exactly (see
+// PhaseProfile.Conserves).
+func Profile(r Report) PhaseProfile { return mpc.Profile(r) }
 
 // PairSolver selects the per-pair kernel of the edit-distance small
 // regime; see the constants re-exported below.

@@ -1,0 +1,113 @@
+// Command mpcbench runs the workload bench suite on the simulated MPC
+// cluster and records every deterministic model counter — op counts, comm
+// words, rounds, machines, per-machine memory, and per-phase breakdowns —
+// plus wall time, as a BENCH_<stamp>.json file. The counters are
+// parallelism-independent, so two runs of the same suite at the same seed
+// must agree exactly; -compare turns that into a regression gate.
+//
+// Usage:
+//
+//	mpcbench                          # run suite, write BENCH_<stamp>.json
+//	mpcbench -out bench.json          # explicit output path
+//	mpcbench -compare BENCH_baseline.json
+//	                                  # run suite, diff deterministic
+//	                                  # counters against the baseline;
+//	                                  # exit 1 on any drift
+//	mpcbench -sizes 256,512 -seed 2   # sweep shape
+//
+// Wall time is compared only when -tol is set above 1 (e.g. -tol 3 warns
+// when a case gets 3x slower or faster); it never fails the run — CI
+// machines are too noisy for wall-clock gates, and the deterministic
+// counters are the quantities the paper's Table 1 is stated in.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpcdist/internal/harness"
+)
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<stamp>.json in the current directory)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to diff deterministic counters against (exit 1 on drift)")
+	sizes := flag.String("sizes", "", "comma-separated problem sizes (default 192,384)")
+	seed := flag.Int64("seed", 1, "random seed (must match the baseline's when comparing)")
+	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
+	tol := flag.Float64("tol", 0, "wall-time warning factor (>1 enables advisory wall-time comparison)")
+	flag.Parse()
+
+	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps}
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				die(fmt.Errorf("bad -sizes entry %q", f))
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	file, err := harness.RunBench(cfg)
+	if err != nil {
+		die(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("20060102-150405") + ".json"
+	}
+	if err := writeBench(path, file); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: wrote %d results to %s\n", len(file.Results), path)
+
+	if *compare == "" {
+		return
+	}
+	base, err := readBench(*compare)
+	if err != nil {
+		die(err)
+	}
+	diffs, warnings := harness.CompareBench(base, file, *tol)
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "mpcbench: warning:", w)
+	}
+	if len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, "mpcbench: drift:", d)
+		}
+		die(fmt.Errorf("%d deterministic counter(s) drifted vs %s", len(diffs), *compare))
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: all %d cases match %s exactly\n", len(file.Results), *compare)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mpcbench:", err)
+	os.Exit(1)
+}
+
+func writeBench(path string, file harness.BenchFile) error {
+	buf, err := json.MarshalIndent(file, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readBench(path string) (harness.BenchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return harness.BenchFile{}, err
+	}
+	var file harness.BenchFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		return harness.BenchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return file, nil
+}

@@ -26,6 +26,7 @@ import (
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
+	"mpcdist/internal/traceio"
 	"mpcdist/internal/ulam"
 )
 
@@ -147,21 +148,17 @@ func die(format string, args ...any) {
 }
 
 // flushTrace writes the collected Chrome trace once; it clears the
-// exporter first so a write failure inside die cannot recurse.
+// exporter first so a write failure inside die cannot recurse. traceio
+// surfaces create/write/sync/close failures and removes a partial file,
+// so a flush error always exits nonzero instead of leaving a truncated
+// trace that Perfetto would render as an empty timeline.
 func flushTrace() {
 	chrome, path := chromeTrace, tracePath
 	chromeTrace = nil
 	if chrome == nil {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		die("%v", err)
-	}
-	if _, err := chrome.WriteTo(f); err != nil {
-		die("%v", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := traceio.WriteFile(path, chrome); err != nil {
 		die("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "mpcdist: wrote trace to %s (open in Perfetto or chrome://tracing)\n", path)

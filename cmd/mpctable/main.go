@@ -8,6 +8,7 @@
 //	mpctable -table edit              # Theorem 9 vs HSS [20] rows
 //	mpctable -sweep machines          # machine-count exponent fit
 //	mpctable -sweep ulam              # Ulam total-work/machines fit
+//	mpctable -budget                  # Table 1 budget-conformance sweep
 //	mpctable -table ulam -trace t.json   # + Chrome trace of every round
 //
 // The model quantities (machines, rounds, words, DP operations) are
@@ -27,11 +28,14 @@ import (
 	"mpcdist/internal/harness"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
+	"mpcdist/internal/traceio"
 )
 
 func main() {
 	table := flag.String("table", "", "table to regenerate: ulam | edit")
 	sweep := flag.String("sweep", "", "sweep to run: machines | ulam | x")
+	budget := flag.Bool("budget", false, "run the Table 1 budget-conformance sweep (exit 1 on any FAIL)")
+	slack := flag.Float64("slack", 0, "budget exponent slack absorbing Õ polylog factors (0 = default 0.5)")
 	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
 	seed := flag.Int64("seed", 1, "random seed")
 	small := flag.Bool("small", false, "use smaller sizes (faster)")
@@ -56,21 +60,19 @@ func main() {
 		runUlamSweep(base, *small)
 	case *sweep == "x":
 		runXSweep(base, *small)
+	case *budget:
+		runBudget(base, *small, *slack)
 	default:
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nPick one of -table ulam|edit or -sweep machines|ulam.")
+		fmt.Fprintln(os.Stderr, "\nPick one of -table ulam|edit, -sweep machines|ulam|x, or -budget.")
 		os.Exit(2)
 	}
 
 	if chrome != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
-		}
-		if _, err := chrome.WriteTo(f); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		// traceio surfaces create/write/sync/close failures and removes a
+		// partial file; a flush error exits nonzero rather than leaving a
+		// truncated trace behind.
+		if err := traceio.WriteFile(*traceOut, chrome); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "mpctable: wrote trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
@@ -182,6 +184,35 @@ func runXSweep(base core.Params, small bool) {
 }
 
 func pow(n int, e float64) float64 { return math.Pow(float64(n), e) }
+
+func runBudget(base core.Params, small bool, slack float64) {
+	sizes := []int{400, 800, 1600, 3200}
+	if small {
+		sizes = []int{400, 800, 1600}
+	}
+	x := 0.25
+	fmt.Printf("Table 1 budget conformance at x = %.2f, eps = %.2f, sizes %v:\n", x, base.Eps, sizes)
+	fmt.Println("(measured per-phase and whole-run quantities vs the paper's envelopes;")
+	fmt.Println(" 'constant' is the fitted leading constant measured/n^paperExp — the Õ made explicit)")
+	fmt.Println()
+	rows, err := harness.BudgetCheck(harness.BudgetConfig{
+		Sizes: sizes, X: x, Eps: base.Eps, Seed: base.Seed, Slack: slack,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(harness.BudgetTable(rows))
+	failed := 0
+	for _, r := range rows {
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("%d of %d budget rows FAIL", failed, len(rows)))
+	}
+	fmt.Printf("\nAll %d budget rows PASS.\n", len(rows))
+}
 
 func runUlamSweep(base core.Params, small bool) {
 	sizes := []int{512, 1024, 2048, 4096}

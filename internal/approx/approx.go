@@ -21,6 +21,11 @@
 // The returned value is always an upper bound on ed(a, b); it equals
 // ed(a, b) whenever ed(a, b) <= |a|^{5/6}, and is at most (3+O(eps))·ed
 // with high probability otherwise.
+//
+// Phase attribution: approx has no Cluster.Run call sites of its own — it
+// is a sequential pair kernel invoked inside the machines of the
+// small-regime "edit-small/pairs" round (PairApprox12), so its operations
+// are charged to that round's trace.PhaseCandidates.
 package approx
 
 import (

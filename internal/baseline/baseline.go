@@ -18,6 +18,7 @@ import (
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 )
 
 // pairJob is one (block, starting point) work unit: the defining difference
@@ -142,7 +143,7 @@ func hssGuess(s, sbar []byte, g int, p core.Params) (int, mpc.Report, error) {
 	}
 	dFilter := int((1 + p.Eps) * float64(g))
 
-	out, err := cl.Run("hss/pairs", inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	out, err := cl.Run("hss/pairs", trace.PhaseCandidates, inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		for _, pl := range in {
 			job := pl.(*pairJob)
 			blen := len(job.Block)
@@ -175,7 +176,7 @@ func hssGuess(s, sbar []byte, g int, p core.Params) (int, mpc.Report, error) {
 	if _, ok := out[collector]; !ok {
 		out[collector] = []mpc.Payload{}
 	}
-	fin, err := cl.Run("hss/chain", out, func(x *mpc.Ctx, in []mpc.Payload) {
+	fin, err := cl.Run("hss/chain", trace.PhaseChain, out, func(x *mpc.Ctx, in []mpc.Payload) {
 		tuples := make([]chain.Tuple, 0, len(in))
 		for _, pl := range in {
 			tuples = append(tuples, chain.Tuple(pl.(tupleMsg)))

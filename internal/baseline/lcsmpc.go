@@ -9,6 +9,7 @@ import (
 	"mpcdist/internal/core"
 	"mpcdist/internal/lcs"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 )
 
 // LCSMPC approximates the longest common subsequence in two MPC rounds —
@@ -136,7 +137,7 @@ func lcsGuess(s, sbar []byte, ell int, p core.Params) (int, mpc.Report, error) {
 		return 0, cl.Report(), nil
 	}
 
-	out, err := cl.Run("lcs/pairs", inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	out, err := cl.Run("lcs/pairs", trace.PhaseCandidates, inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		for _, pl := range in {
 			job := pl.(*lcsJob)
 			for _, gamma := range job.Starts {
@@ -166,7 +167,7 @@ func lcsGuess(s, sbar []byte, ell int, p core.Params) (int, mpc.Report, error) {
 	if _, ok := out[collector]; !ok {
 		out[collector] = []mpc.Payload{}
 	}
-	fin, err := cl.Run("lcs/chain", out, func(x *mpc.Ctx, in []mpc.Payload) {
+	fin, err := cl.Run("lcs/chain", trace.PhaseChain, out, func(x *mpc.Ctx, in []mpc.Payload) {
 		tuples := make([]chain.Tuple, 0, len(in))
 		for _, pl := range in {
 			tuples = append(tuples, chain.Tuple(pl.(tupleMsg)))

@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdist/internal/core"
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/workload"
+)
+
+// checkPhases asserts every round carries the expected phase for its name
+// and that the phase profile conserves the (single-cluster) report.
+func checkPhases(t *testing.T, reps []mpc.Report, want map[string]trace.Phase) {
+	t.Helper()
+	for _, rep := range reps {
+		for _, rs := range rep.Rounds {
+			ph, ok := want[rs.Name]
+			if !ok {
+				t.Errorf("unexpected round %q (phase %q)", rs.Name, rs.Phase)
+				continue
+			}
+			if rs.Phase != ph {
+				t.Errorf("round %q phase = %q, want %q", rs.Name, rs.Phase, ph)
+			}
+		}
+		if err := mpc.Profile(rep).Conserves(rep); err != nil {
+			t.Errorf("profile: %v", err)
+		}
+	}
+}
+
+func TestHSSPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	s := workload.RandomString(rng, 400, 4)
+	sbar := workload.PlantedEdits(rng, s, 15, 4)
+	res, err := HSSEditMPC(s, sbar, core.Params{X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.GuessReports
+	if len(reps) == 0 {
+		reps = []mpc.Report{res.Report}
+	}
+	checkPhases(t, reps, map[string]trace.Phase{
+		"hss/pairs": trace.PhaseCandidates,
+		"hss/chain": trace.PhaseChain,
+	})
+}
+
+func TestLCSPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	s := workload.RandomString(rng, 400, 4)
+	sbar := workload.PlantedEdits(rng, s, 15, 4)
+	res, err := LCSMPC(s, sbar, core.Params{X: 0.25, Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.GuessReports
+	if len(reps) == 0 {
+		reps = []mpc.Report{res.Report}
+	}
+	checkPhases(t, reps, map[string]trace.Phase{
+		"lcs/pairs": trace.PhaseCandidates,
+		"lcs/chain": trace.PhaseChain,
+	})
+}

@@ -7,6 +7,12 @@
 // (Condition 3) and the geometric ladder costs a 1+eps factor on the
 // window length tail (Condition 4); both are within the approximation
 // budget, per Lemma 5.
+//
+// Phase attribution: cand has no Cluster.Run call sites of its own — its
+// kernels run inside the machines of the drivers' candidate rounds
+// ("ulam/candidates", "edit-small/pairs", the edit-large grid rounds), so
+// every operation counted here is charged to the enclosing round's
+// trace.Phase (PhaseCandidates, or PhaseGraph in the large regime).
 package cand
 
 import "sort"

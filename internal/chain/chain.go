@@ -18,6 +18,12 @@
 // quadratic DP printed in the paper and as a Fenwick-accelerated
 // O(T log T) variant (the "suitable data structure" remark).
 //
+// Phase attribution: chain has no Cluster.Run call sites of its own — the
+// DPs execute on the single machine of each driver's final round
+// ("ulam/chain", "edit-small/chain", "edit-large/chain", and the baseline
+// chain rounds), so every operation counted here is charged to that
+// round's trace.PhaseChain.
+//
 // All coordinates are 0-based and inclusive.
 package chain
 

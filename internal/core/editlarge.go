@@ -8,6 +8,7 @@ import (
 	"mpcdist/internal/chain"
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 )
 
 // The large-distance regime (Section 5.2), for guesses n^delta > n^{1-x/5}.
@@ -306,7 +307,7 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 		repIndex[z] = i
 	}
 
-	r1Out, err := cl.Run("edit-large/reps", r1Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	r1Out, err := cl.Run("edit-large/reps", trace.PhaseGraph, r1Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		for _, pl := range in {
 			b := pl.(*repBatch)
 			for zi, z := range b.RepIDs {
@@ -349,7 +350,7 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 
 	dFilterLen := func(winLen int) int { return bsz + winLen } // skip-dominance filter
 	var extReqs [][4]int                                       // collected driver-side from R2 emissions
-	r2Out, err := cl.Run("edit-large/join", r2Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	r2Out, err := cl.Run("edit-large/join", trace.PhaseGraph, r2Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		switch {
 		case x.Machine < nR:
 			// Joiner: forward window-distance vectors to R3 self.
@@ -492,7 +493,7 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 		r3Inputs[passID] = []mpc.Payload{}
 	}
 
-	r3Out, err := cl.Run("edit-large/extend", r3Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	r3Out, err := cl.Run("edit-large/extend", trace.PhaseGraph, r3Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		if x.Machine < nR {
 			// Joiner: emit triangle tuples for its selected blocks.
 			var sels []selMsg
@@ -556,7 +557,7 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	}
 
 	// Round 4: overlap-tolerant chain DP (Section 5.2.3).
-	fin, err := cl.Run("edit-large/chain", r3Out, func(x *mpc.Ctx, in []mpc.Payload) {
+	fin, err := cl.Run("edit-large/chain", trace.PhaseChain, r3Out, func(x *mpc.Ctx, in []mpc.Payload) {
 		tuples := make([]chain.Tuple, 0, len(in))
 		for _, pl := range in {
 			if t, ok := pl.(tupleMsg); ok {

@@ -8,6 +8,7 @@ import (
 	"mpcdist/internal/chain"
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 )
 
 // editJob is a round-1 payload for the small-distance regime: one block of
@@ -110,7 +111,7 @@ func editSmall(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 
 	dFilter := int((3 + p.Eps) * float64(g))
 
-	out, err := cl.Run("edit-small/pairs", inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	out, err := cl.Run("edit-small/pairs", trace.PhaseCandidates, inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		for _, pl := range in {
 			job := pl.(*editJob)
 			blen := len(job.Block)
@@ -148,7 +149,7 @@ func editSmall(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	}
 
 	// Round 2: Algorithm 4 on one machine.
-	fin, err := cl.Run("edit-small/chain", out, func(x *mpc.Ctx, in []mpc.Payload) {
+	fin, err := cl.Run("edit-small/chain", trace.PhaseChain, out, func(x *mpc.Ctx, in []mpc.Payload) {
 		tuples := make([]chain.Tuple, 0, len(in))
 		for _, pl := range in {
 			tuples = append(tuples, chain.Tuple(pl.(tupleMsg)))

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/workload"
+)
+
+// wantPhases asserts the report's rounds carry exactly the expected
+// (name, phase) sequence and that the profile conserves the report.
+func wantPhases(t *testing.T, rep mpc.Report, want map[string]trace.Phase) {
+	t.Helper()
+	for _, rs := range rep.Rounds {
+		ph, ok := want[rs.Name]
+		if !ok {
+			t.Errorf("unexpected round %q (phase %q)", rs.Name, rs.Phase)
+			continue
+		}
+		if rs.Phase != ph {
+			t.Errorf("round %q phase = %q, want %q", rs.Name, rs.Phase, ph)
+		}
+		if !rs.Phase.Valid() {
+			t.Errorf("round %q carries invalid phase %q", rs.Name, rs.Phase)
+		}
+	}
+}
+
+func TestUlamMPCPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s, sbar, _ := workload.PlantedUlam(rng, 300, 30)
+	res, err := UlamMPC(s, sbar, Params{X: 0.3, Eps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhases(t, res.Report, map[string]trace.Phase{
+		"ulam/candidates": trace.PhaseCandidates,
+		"ulam/chain":      trace.PhaseChain,
+	})
+	prof := mpc.Profile(res.Report)
+	if err := prof.Conserves(res.Report); err != nil {
+		t.Errorf("ulam profile: %v", err)
+	}
+	if _, ok := prof.Get(trace.PhaseCandidates); !ok {
+		t.Error("ulam ran no candidates round")
+	}
+	if _, ok := prof.Get(trace.PhaseChain); !ok {
+		t.Error("ulam ran no chain round")
+	}
+}
+
+func TestEditSmallMPCPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := workload.RandomString(rng, 400, 4)
+	sbar := workload.PlantedEdits(rng, s, 20, 4)
+	res, err := EditSmallMPC(s, sbar, 64, Params{X: 0.25, Eps: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhases(t, res.Report, map[string]trace.Phase{
+		"edit-small/pairs": trace.PhaseCandidates,
+		"edit-small/chain": trace.PhaseChain,
+	})
+	if err := mpc.Profile(res.Report).Conserves(res.Report); err != nil {
+		t.Errorf("edit-small profile: %v", err)
+	}
+}
+
+func TestEditLargeMPCPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 300
+	s := workload.RandomString(rng, n, 10)
+	sbar := workload.RandomString(rng, n, 10)
+	res, err := EditLargeMPC(s, sbar, 280, Params{X: 0.25, Eps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhases(t, res.Report, map[string]trace.Phase{
+		"edit-large/reps":   trace.PhaseGraph,
+		"edit-large/join":   trace.PhaseGraph,
+		"edit-large/extend": trace.PhaseGraph,
+		"edit-large/chain":  trace.PhaseChain,
+	})
+	prof := mpc.Profile(res.Report)
+	if err := prof.Conserves(res.Report); err != nil {
+		t.Errorf("edit-large profile: %v", err)
+	}
+	if ps, ok := prof.Get(trace.PhaseGraph); !ok || ps.Rounds != 3 {
+		t.Errorf("graph phase rounds = %+v, %v; want 3 rounds", ps, ok)
+	}
+}
+
+// phaseChecker is an Observer that fails the test the moment any round or
+// machine span arrives without a valid phase — the observer-level guarantee
+// behind the taxonomy.
+type phaseChecker struct {
+	trace.Base
+	t  *testing.T
+	mu sync.Mutex
+	// seen collects observed phases per event kind.
+	seen map[trace.Phase]int
+}
+
+func (p *phaseChecker) RoundStart(r trace.RoundInfo) {
+	if !r.Phase.Valid() {
+		p.t.Errorf("RoundStart %q reached observer with invalid phase %q", r.Name, r.Phase)
+	}
+	p.mu.Lock()
+	p.seen[r.Phase]++
+	p.mu.Unlock()
+}
+
+func (p *phaseChecker) MachineEnd(s trace.MachineSpan) {
+	if !s.Phase.Valid() {
+		p.t.Errorf("MachineEnd %q machine %d has invalid phase %q", s.Name, s.Machine, s.Phase)
+	}
+}
+
+func (p *phaseChecker) RoundEnd(r trace.RoundSummary) {
+	if !r.Phase.Valid() {
+		p.t.Errorf("RoundEnd %q has invalid phase %q", r.Name, r.Phase)
+	}
+}
+
+func TestEditMPCObserverSeesOnlyPhasedRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	s := workload.RandomString(rng, 400, 4)
+	sbar := workload.PlantedEdits(rng, s, 20, 4)
+	obs := &phaseChecker{t: t, seen: map[trace.Phase]int{}}
+	_, err := EditMPC(s, sbar, Params{X: 0.25, Eps: 0.5, Seed: 6, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.seen) == 0 {
+		t.Fatal("observer saw no rounds")
+	}
+	for ph := range obs.seen {
+		if !ph.Valid() {
+			t.Errorf("observer saw invalid phase %q", ph)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mpcdist/internal/chain"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/ulam"
 )
 
@@ -86,7 +87,7 @@ func UlamMPC(s, sbar []int, p Params) (Result, error) {
 
 	// Round 1: Algorithm 1 on every block machine.
 	collector := 0
-	out, err := cl.Run("ulam/candidates", inputs, func(x *mpc.Ctx, in []mpc.Payload) {
+	out, err := cl.Run("ulam/candidates", trace.PhaseCandidates, inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		for _, pl := range in {
 			job := pl.(*ulamJob)
 			runUlamRound1(x, job, n, epsP, p.HitConst, collector)
@@ -104,7 +105,7 @@ func UlamMPC(s, sbar []int, p Params) (Result, error) {
 	// Round 2: Algorithm 2 on a single machine. Alongside the value, the
 	// machine ships back the selected chain — the approximate decomposition
 	// of s into matched windows of sbar.
-	fin, err := cl.Run("ulam/chain", out, func(x *mpc.Ctx, in []mpc.Payload) {
+	fin, err := cl.Run("ulam/chain", trace.PhaseChain, out, func(x *mpc.Ctx, in []mpc.Payload) {
 		tuples := make([]chain.Tuple, 0, len(in))
 		for _, pl := range in {
 			tuples = append(tuples, chain.Tuple(pl.(tupleMsg)))

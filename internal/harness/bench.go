@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mpcdist/internal/baseline"
+	"mpcdist/internal/core"
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/workload"
+)
+
+// The bench suite runs the workload generators across sizes and records
+// every deterministic model counter (ops, comm words, rounds, machines,
+// memory, per-phase breakdowns) plus wall time. The counters are
+// parallelism-independent (see the root determinism test), so any change
+// in them between two runs of the same suite is a real behavior change —
+// cmd/mpcbench compares them exactly and treats wall time as advisory.
+
+// BenchConfig parameterizes a bench run.
+type BenchConfig struct {
+	Sizes []int // problem sizes; zero means {192, 384}
+	Seed  int64
+	Eps   float64 // zero means 0.5
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{192, 384}
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.5
+	}
+	return c
+}
+
+// BenchPhase is one phase's deterministic counters within a case.
+type BenchPhase struct {
+	Phase       string `json:"phase"`
+	Rounds      int    `json:"rounds"`
+	MaxMachines int    `json:"maxMachines"`
+	MaxWords    int    `json:"maxWords"`
+	TotalOps    int64  `json:"totalOps"`
+	CommWords   int64  `json:"commWords"`
+}
+
+// BenchResult is one (algorithm, workload, size) cell. Every field except
+// ElapsedMs is deterministic given the config.
+type BenchResult struct {
+	Name        string       `json:"name"` // "algo/workload/n=N"
+	Algo        string       `json:"algo"`
+	Workload    string       `json:"workload"`
+	N           int          `json:"n"`
+	X           float64      `json:"x"`
+	Value       int          `json:"value"`
+	Rounds      int          `json:"rounds"`
+	Machines    int          `json:"machines"`
+	MaxWords    int          `json:"maxWords"`
+	TotalOps    int64        `json:"totalOps"`
+	CriticalOps int64        `json:"criticalOps"`
+	CommWords   int64        `json:"commWords"`
+	Phases      []BenchPhase `json:"phases"`
+	ElapsedMs   float64      `json:"elapsedMs"` // wall time; compared with tolerance only
+}
+
+// BenchFile is the BENCH_<stamp>.json schema.
+type BenchFile struct {
+	Stamp   string        `json:"stamp"` // RFC 3339; excluded from comparison
+	Seed    int64         `json:"seed"`
+	Eps     float64       `json:"eps"`
+	Sizes   []int         `json:"sizes"`
+	Results []BenchResult `json:"results"`
+}
+
+// benchCase is one algorithm × workload generator of the suite.
+type benchCase struct {
+	algo, workload string
+	x              float64
+	run            func(n int, p core.Params) (core.Result, error)
+}
+
+// benchCases returns the suite: the paper's two algorithms and the two
+// baselines, each over workload-generator families with planted sublinear
+// distances (d ~ n^0.5, ulam n^0.6).
+func benchCases(seed int64) []benchCase {
+	// salt de-correlates the rng streams of workloads that share a
+	// generator structure (identical streams would yield identical op
+	// counts and hide a per-workload regression).
+	editPair := func(n int, salt int64, gen func(rng *rand.Rand, n int) ([]byte, []byte)) ([]byte, []byte) {
+		rng := rand.New(rand.NewSource(seed*104729 + int64(n) + salt))
+		s, sbar := gen(rng, n)
+		return s, sbar
+	}
+	return []benchCase{
+		{
+			algo: "ulam-mpc", workload: "planted-perm", x: 0.3,
+			run: func(n int, p core.Params) (core.Result, error) {
+				rng := rand.New(rand.NewSource(seed*7919 + int64(n)))
+				s, sbar, _ := workload.PlantedUlam(rng, n, planted(n, 0.6))
+				return core.UlamMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "ulam-mpc", workload: "block-move", x: 0.3,
+			run: func(n int, p core.Params) (core.Result, error) {
+				rng := rand.New(rand.NewSource(seed*7919 + int64(n) + 1))
+				s := workload.Permutation(rng, n)
+				sbar := workload.BlockMoveInts(rng, s, planted(n, 0.5))
+				return core.UlamMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "edit-mpc", workload: "planted-random", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
+					s := workload.RandomString(rng, n, 4)
+					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+				})
+				return core.EditMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "edit-mpc", workload: "planted-dna", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				s, sbar := editPair(n, 1000, func(rng *rand.Rand, n int) ([]byte, []byte) {
+					s := workload.DNA(rng, n)
+					return s, workload.PlantedDNA(rng, s, planted(n, 0.5))
+				})
+				return core.EditMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "edit-mpc", workload: "periodic-shift", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				// Shift by a non-multiple of the effective period (sigma
+				// caps it at 4), so the rotation is a real, small edit.
+				s := workload.Periodic(n, 16, 4)
+				return core.EditMPC(s, workload.Shift(s, 7), p)
+			},
+		},
+		{
+			algo: "edit-mpc", workload: "zipf-blockmove", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				s, sbar := editPair(n, 2000, func(rng *rand.Rand, n int) ([]byte, []byte) {
+					s := workload.Zipf(rng, n, 16)
+					return s, workload.BlockMove(rng, s, planted(n, 0.5))
+				})
+				return core.EditMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "hss", workload: "planted-random", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
+					s := workload.RandomString(rng, n, 4)
+					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+				})
+				return baseline.HSSEditMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "lcs-mpc", workload: "planted-random", x: 0.25,
+			run: func(n int, p core.Params) (core.Result, error) {
+				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
+					s := workload.RandomString(rng, n, 4)
+					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+				})
+				return baseline.LCSMPC(s, sbar, p)
+			},
+		},
+	}
+}
+
+// benchPhases flattens a report's phase profile for the JSON record.
+func benchPhases(rep mpc.Report) []BenchPhase {
+	var out []BenchPhase
+	for _, ps := range mpc.Profile(rep).Phases {
+		out = append(out, BenchPhase{
+			Phase:       string(ps.Phase),
+			Rounds:      ps.Rounds,
+			MaxMachines: ps.MaxMachines,
+			MaxWords:    ps.MaxWords,
+			TotalOps:    ps.TotalOps,
+			CommWords:   ps.CommWords,
+		})
+	}
+	return out
+}
+
+// RunBench executes the suite and returns the record. Results are sorted
+// by name so the JSON is diff-stable.
+func RunBench(cfg BenchConfig) (BenchFile, error) {
+	cfg = cfg.withDefaults()
+	file := BenchFile{
+		Stamp: time.Now().UTC().Format(time.RFC3339),
+		Seed:  cfg.Seed, Eps: cfg.Eps, Sizes: cfg.Sizes,
+	}
+	for _, bc := range benchCases(cfg.Seed) {
+		for _, n := range cfg.Sizes {
+			p := core.Params{X: bc.x, Eps: cfg.Eps, Seed: cfg.Seed}
+			start := time.Now()
+			res, err := bc.run(n, p)
+			if err != nil {
+				return BenchFile{}, fmt.Errorf("harness: bench %s/%s n=%d: %w", bc.algo, bc.workload, n, err)
+			}
+			file.Results = append(file.Results, BenchResult{
+				Name:     fmt.Sprintf("%s/%s/n=%d", bc.algo, bc.workload, n),
+				Algo:     bc.algo,
+				Workload: bc.workload,
+				N:        n, X: bc.x,
+				Value:       res.Value,
+				Rounds:      res.Report.NumRounds,
+				Machines:    res.Report.MaxMachines,
+				MaxWords:    res.Report.MaxWords,
+				TotalOps:    res.Report.TotalOps,
+				CriticalOps: res.Report.CriticalOps,
+				CommWords:   res.Report.CommWords,
+				Phases:      benchPhases(res.Report),
+				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
+			})
+		}
+	}
+	sort.Slice(file.Results, func(i, j int) bool { return file.Results[i].Name < file.Results[j].Name })
+	return file, nil
+}
+
+// CompareBench checks cur against old. diffs are deterministic-counter
+// changes (a regression gate: any entry means the model behavior changed);
+// warnings are advisory wall-time movements beyond a factor of wallTol
+// (ignored when wallTol <= 1).
+func CompareBench(old, cur BenchFile, wallTol float64) (diffs, warnings []string) {
+	if old.Seed != cur.Seed || old.Eps != cur.Eps {
+		diffs = append(diffs, fmt.Sprintf("config mismatch: old seed=%d eps=%g, new seed=%d eps=%g (comparison requires identical config)",
+			old.Seed, old.Eps, cur.Seed, cur.Eps))
+		return diffs, nil
+	}
+	oldByName := map[string]BenchResult{}
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range cur.Results {
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: new case not in baseline", nr.Name))
+			continue
+		}
+		seen[nr.Name] = true
+		check := func(field string, o, n int64) {
+			if o != n {
+				diffs = append(diffs, fmt.Sprintf("%s: %s %d -> %d", nr.Name, field, o, n))
+			}
+		}
+		check("value", int64(or.Value), int64(nr.Value))
+		check("rounds", int64(or.Rounds), int64(nr.Rounds))
+		check("machines", int64(or.Machines), int64(nr.Machines))
+		check("maxWords", int64(or.MaxWords), int64(nr.MaxWords))
+		check("totalOps", or.TotalOps, nr.TotalOps)
+		check("criticalOps", or.CriticalOps, nr.CriticalOps)
+		check("commWords", or.CommWords, nr.CommWords)
+		check("phases", int64(len(or.Phases)), int64(len(nr.Phases)))
+		if len(or.Phases) == len(nr.Phases) {
+			for i := range nr.Phases {
+				op, np := or.Phases[i], nr.Phases[i]
+				if op.Phase != np.Phase {
+					diffs = append(diffs, fmt.Sprintf("%s: phase[%d] %s -> %s", nr.Name, i, op.Phase, np.Phase))
+					continue
+				}
+				pf := func(field string, o, n int64) {
+					check(fmt.Sprintf("phase[%s].%s", np.Phase, field), o, n)
+				}
+				pf("rounds", int64(op.Rounds), int64(np.Rounds))
+				pf("maxMachines", int64(op.MaxMachines), int64(np.MaxMachines))
+				pf("maxWords", int64(op.MaxWords), int64(np.MaxWords))
+				pf("totalOps", op.TotalOps, np.TotalOps)
+				pf("commWords", op.CommWords, np.CommWords)
+			}
+		}
+		if wallTol > 1 && or.ElapsedMs > 0 && nr.ElapsedMs > 0 {
+			ratio := nr.ElapsedMs / or.ElapsedMs
+			if ratio > wallTol || ratio < 1/wallTol {
+				warnings = append(warnings, fmt.Sprintf("%s: wall time %.2fms -> %.2fms (%.2fx)",
+					nr.Name, or.ElapsedMs, nr.ElapsedMs, ratio))
+			}
+		}
+	}
+	for _, r := range old.Results {
+		if !seen[r.Name] {
+			diffs = append(diffs, fmt.Sprintf("%s: baseline case missing from new run", r.Name))
+		}
+	}
+	return diffs, warnings
+}

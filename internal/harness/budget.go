@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcdist/internal/baseline"
+	"mpcdist/internal/core"
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/ulam"
+	"mpcdist/internal/workload"
+)
+
+// BudgetConfig parameterizes a Table 1 conformance sweep: run each
+// algorithm across Sizes and check the measured per-phase and whole-run
+// quantities against the paper's envelopes.
+type BudgetConfig struct {
+	Sizes []int // problem sizes; three or more give stable exponent fits
+	X     float64
+	Eps   float64
+	Seed  int64
+	// Slack widens each exponent envelope: a measured quantity passes when
+	// its fitted log-log exponent is at most the paper exponent plus Slack.
+	// The slack absorbs the Õ's polylog and poly(1/eps) factors, which at
+	// simulator sizes contribute a visible slope (the enforced memory cap
+	// alone carries a (1+ln n)² factor). Zero means 0.5.
+	Slack float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Slack <= 0 {
+		c.Slack = 0.5
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.5
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{400, 800, 1600}
+	}
+	return c
+}
+
+// BudgetRow is one evaluated Table 1 envelope: an algorithm × quantity
+// cell with the paper's bound, the measured fit, and the verdict.
+type BudgetRow struct {
+	Algo     string
+	Quantity string // "rounds/guess", "mem/machine", "machines", "total work", or a per-phase variant
+	Paper    string // the envelope as printed in Table 1 (constants dropped)
+	// Fitted is the measured value: a log-log exponent for scaling rows, a
+	// max count for round rows. Limit is the pass threshold (paper exponent
+	// + slack, or the exact round budget).
+	Fitted float64
+	Limit  float64
+	// Constant is the fitted leading constant: the geometric mean over the
+	// sweep of measured / n^paperExp (NaN for round rows). It is the Õ's
+	// hidden factor made explicit at simulator scale.
+	Constant float64
+	// Util, for memory rows only (NaN otherwise), is the peak utilization
+	// of the enforced per-machine cap across the sweep: max over sizes of
+	// measured words / MemoryBudget(n). Memory rows pass on Util <= 1 —
+	// the cap IS the paper's Õ(n^{1-x}) with its polylog spelled out, so
+	// utilization, not a bare n^{1-x} fit, is the conformance criterion
+	// (usage below the cap may transiently grow faster than n^{1-x}).
+	Util float64
+	Pass bool
+}
+
+// budgetSpec is one algorithm's Table 1 row: its envelopes and a runner.
+type budgetSpec struct {
+	algo           string
+	roundsPerGuess int     // round budget per distance guess
+	memExp         float64 // per-machine memory exponent
+	machExp        float64 // machine-count exponent
+	workExp        float64 // total-work exponent
+	// phaseRounds is the per-guess round budget of each phase the
+	// algorithm may run; phases absent from the map budget zero rounds.
+	phaseRounds map[trace.Phase]int
+	run         func(n int, p core.Params) (core.Result, error)
+}
+
+// budgetSpecs returns the three Table 1 rows under test at exponent x.
+func budgetSpecs(x float64) []budgetSpec {
+	return []budgetSpec{
+		{
+			algo: "ulam-mpc(T4)", roundsPerGuess: 2,
+			memExp: 1 - x, machExp: x, workExp: 1,
+			phaseRounds: map[trace.Phase]int{trace.PhaseCandidates: 1, trace.PhaseChain: 1},
+			run: func(n int, p core.Params) (core.Result, error) {
+				rng := rand.New(rand.NewSource(p.Seed*7919 + int64(n)))
+				s, sbar, _ := workload.PlantedUlam(rng, n, planted(n, 0.6))
+				return core.UlamMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "edit-mpc(T9)", roundsPerGuess: 4,
+			memExp: 1 - x, machExp: 9 * x / 5, workExp: 2 - math.Min((1-x)/6, 2*x/5),
+			phaseRounds: map[trace.Phase]int{
+				trace.PhaseCandidates: 1, trace.PhaseGraph: 3, trace.PhaseChain: 1,
+			},
+			run: func(n int, p core.Params) (core.Result, error) {
+				rng := rand.New(rand.NewSource(p.Seed*104729 + int64(n)))
+				s := workload.RandomString(rng, n, 4)
+				sbar := workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+				return core.EditMPC(s, sbar, p)
+			},
+		},
+		{
+			algo: "hss[20]", roundsPerGuess: 2,
+			memExp: 1 - x, machExp: 2 * x, workExp: 2,
+			phaseRounds: map[trace.Phase]int{trace.PhaseCandidates: 1, trace.PhaseChain: 1},
+			run: func(n int, p core.Params) (core.Result, error) {
+				rng := rand.New(rand.NewSource(p.Seed*104729 + int64(n)))
+				s := workload.RandomString(rng, n, 4)
+				sbar := workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+				return baseline.HSSEditMPC(s, sbar, p)
+			},
+		},
+	}
+}
+
+// planted returns the planted distance round(n^dexp), at least 1. The
+// budget sweep plants sublinear distances (the regime Table 1's clean
+// shapes are stated in), matching the harness's scaling sweeps; a linear
+// distance would drag d-dependent polylog factors into every fit.
+func planted(n int, dexp float64) int {
+	d := int(math.Round(math.Pow(float64(n), dexp)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// geoMeanConstant returns the geometric mean over the sweep of y / n^exp.
+func geoMeanConstant(ns, ys []float64, exp float64) float64 {
+	var sum float64
+	var cnt int
+	for i := range ns {
+		if ns[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		sum += math.Log(ys[i]) - exp*math.Log(ns[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(cnt))
+}
+
+// BudgetCheck runs each Table 1 algorithm across cfg.Sizes and evaluates
+// the measured quantities against the paper's envelopes: per-guess round
+// counts exactly, and memory/machines/total-work as fitted log-log
+// exponents that must stay within paper exponent + Slack. Per-phase rows
+// check the same envelopes restricted to each phase's rounds (a phase can
+// never use more memory than the whole run, and its per-guess round count
+// is fixed by the algorithm's structure).
+//
+// The Ulam total-work row concerns the asymptotic algorithm, so the sweep
+// forces the CDQ match-point kernel for its duration (the default build
+// switches to the quadratic DP below its wall-clock crossover, which does
+// more elementary operations while being faster in real time).
+func BudgetCheck(cfg BudgetConfig) ([]BudgetRow, error) {
+	cfg = cfg.withDefaults()
+	oldCutoff := ulam.QuadCutoff
+	ulam.QuadCutoff = 0
+	defer func() { ulam.QuadCutoff = oldCutoff }()
+
+	var rows []BudgetRow
+	for _, spec := range budgetSpecs(cfg.X) {
+		// Per-size measurements, whole-run and per-phase.
+		var ns, mem, mach, work, caps []float64
+		maxRounds := 0
+		type phaseSeries struct {
+			mem, mach []float64
+			maxRounds int
+		}
+		phases := map[trace.Phase]*phaseSeries{}
+		for _, n := range cfg.Sizes {
+			p := core.Params{X: cfg.X, Eps: cfg.Eps, Seed: cfg.Seed}
+			res, err := spec.run(n, p)
+			if err != nil {
+				return nil, fmt.Errorf("harness: budget %s n=%d: %w", spec.algo, n, err)
+			}
+			ns = append(ns, float64(n))
+			mem = append(mem, float64(res.Report.MaxWords))
+			mach = append(mach, float64(res.Report.MaxMachines))
+			work = append(work, float64(res.Report.TotalOps))
+			caps = append(caps, float64(p.WithDefaults().MemoryBudget(n)))
+
+			// Round counts are per guess: the paper runs the guesses in
+			// parallel, so the budget binds each guess's cluster, not the
+			// ladder's sum.
+			guesses := res.GuessReports
+			if len(guesses) == 0 {
+				guesses = []mpc.Report{res.Report}
+			}
+			for _, g := range guesses {
+				if g.NumRounds > maxRounds {
+					maxRounds = g.NumRounds
+				}
+				for _, ps := range mpc.Profile(g).Phases {
+					s := phases[ps.Phase]
+					if s == nil {
+						s = &phaseSeries{}
+						phases[ps.Phase] = s
+					}
+					if ps.Rounds > s.maxRounds {
+						s.maxRounds = ps.Rounds
+					}
+				}
+			}
+			// Per-phase scaling series come from the aggregate profile
+			// (max memory/machines across all guesses' rounds of the phase).
+			for _, ps := range mpc.Profile(res.Report).Phases {
+				s := phases[ps.Phase]
+				if s == nil {
+					s = &phaseSeries{}
+					phases[ps.Phase] = s
+				}
+				s.mem = append(s.mem, float64(ps.MaxWords))
+				s.mach = append(s.mach, float64(ps.MaxMachines))
+			}
+		}
+
+		expRow := func(quantity string, ys []float64, paperExp float64) BudgetRow {
+			fit := stats.LogLogSlope(ns, ys)
+			limit := paperExp + cfg.Slack
+			return BudgetRow{
+				Algo: spec.algo, Quantity: quantity,
+				Paper:  fmt.Sprintf("n^%.2f", paperExp),
+				Fitted: fit, Limit: limit,
+				Constant: geoMeanConstant(ns, ys, paperExp),
+				Util:     math.NaN(),
+				Pass:     !math.IsNaN(fit) && fit <= limit,
+			}
+		}
+		// Memory rows pass on utilization of the enforced cap (the cap is
+		// the paper's Õ(n^{1-x}) with the polylog constant spelled out);
+		// the fitted exponent is reported for context.
+		memRow := func(quantity string, ys []float64) BudgetRow {
+			util := 0.0
+			for i := range ys {
+				if u := ys[i] / caps[i]; u > util {
+					util = u
+				}
+			}
+			return BudgetRow{
+				Algo: spec.algo, Quantity: quantity,
+				Paper:  fmt.Sprintf("n^%.2f·lg²", spec.memExp),
+				Fitted: stats.LogLogSlope(ns, ys), Limit: 1,
+				Constant: geoMeanConstant(ns, ys, spec.memExp),
+				Util:     util,
+				Pass:     util <= 1 && util > 0,
+			}
+		}
+		rows = append(rows, BudgetRow{
+			Algo: spec.algo, Quantity: "rounds/guess",
+			Paper:  fmt.Sprint(spec.roundsPerGuess),
+			Fitted: float64(maxRounds), Limit: float64(spec.roundsPerGuess),
+			Constant: math.NaN(), Util: math.NaN(),
+			Pass: maxRounds <= spec.roundsPerGuess && maxRounds > 0,
+		})
+		rows = append(rows,
+			memRow("mem/machine", mem),
+			expRow("machines", mach, spec.machExp),
+			expRow("total work", work, spec.workExp))
+
+		for _, ph := range trace.AllPhases() {
+			s := phases[ph]
+			if s == nil {
+				continue
+			}
+			budget := spec.phaseRounds[ph]
+			rows = append(rows, BudgetRow{
+				Algo: spec.algo, Quantity: fmt.Sprintf("rounds[%s]/guess", ph),
+				Paper:  fmt.Sprint(budget),
+				Fitted: float64(s.maxRounds), Limit: float64(budget),
+				Constant: math.NaN(), Util: math.NaN(),
+				Pass: s.maxRounds <= budget,
+			})
+			rows = append(rows,
+				memRow(fmt.Sprintf("mem[%s]", ph), s.mem),
+				expRow(fmt.Sprintf("machines[%s]", ph), s.mach, spec.machExp))
+		}
+	}
+	return rows, nil
+}
+
+// BudgetTable renders budget rows in Table 1 shape.
+func BudgetTable(rows []BudgetRow) *stats.Table {
+	tb := stats.NewTable("algo", "quantity", "paper", "measured", "limit", "constant", "verdict")
+	for _, r := range rows {
+		var measured, limit, constant string
+		switch {
+		case math.IsNaN(r.Constant): // round-count row
+			measured = fmt.Sprintf("%.0f", r.Fitted)
+			limit = fmt.Sprintf("%.0f", r.Limit)
+			constant = "-"
+		case !math.IsNaN(r.Util): // memory row: pass criterion is cap utilization
+			measured = fmt.Sprintf("n^%.2f util=%.3f", r.Fitted, r.Util)
+			limit = "util<=1"
+			constant = fmt.Sprintf("%.3g", r.Constant)
+		default: // exponent row
+			measured = fmt.Sprintf("n^%.2f", r.Fitted)
+			limit = fmt.Sprintf("n^%.2f", r.Limit)
+			constant = fmt.Sprintf("%.3g", r.Constant)
+		}
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		tb.Add(r.Algo, r.Quantity, r.Paper, measured, limit, constant, verdict)
+	}
+	return tb
+}

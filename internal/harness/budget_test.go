@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBudgetCheckSmallSweep(t *testing.T) {
+	rows, err := BudgetCheck(BudgetConfig{Sizes: []int{200, 400, 800}, X: 0.25, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Table 1 algorithm must contribute rows, and the whole-run
+	// quantities must each be evaluated.
+	algos := map[string]bool{}
+	quantities := map[string]bool{}
+	for _, r := range rows {
+		algos[r.Algo] = true
+		quantities[r.Quantity] = true
+		if !r.Pass {
+			t.Errorf("budget row FAIL: %s %s (fitted %.2f, limit %.2f, util %.3f)",
+				r.Algo, r.Quantity, r.Fitted, r.Limit, r.Util)
+		}
+	}
+	for _, a := range []string{"ulam-mpc(T4)", "edit-mpc(T9)", "hss[20]"} {
+		if !algos[a] {
+			t.Errorf("no budget rows for %s", a)
+		}
+	}
+	for _, q := range []string{"rounds/guess", "mem/machine", "machines", "total work",
+		"rounds[candidates]/guess", "rounds[chain]/guess"} {
+		if !quantities[q] {
+			t.Errorf("quantity %q not evaluated", q)
+		}
+	}
+
+	out := BudgetTable(rows).String()
+	if !strings.Contains(out, "PASS") || strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected verdicts in table:\n%s", out)
+	}
+}
+
+func TestBudgetTableMarksFailures(t *testing.T) {
+	rows := []BudgetRow{{Algo: "a", Quantity: "rounds/guess", Paper: "2", Fitted: 3, Limit: 2, Pass: false}}
+	out := BudgetTable(rows).String()
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("failing row not marked FAIL:\n%s", out)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
 	"mpcdist/internal/editdist"
+	"mpcdist/internal/mpc"
 	"mpcdist/internal/stats"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/ulam"
 	"mpcdist/internal/workload"
 )
@@ -34,13 +36,24 @@ type Row struct {
 	CommWords int64   // total communication volume across rounds
 	ElapsedMs float64 // machine-execution wall time (queueing excluded)
 	Straggler float64 // worst per-round max/mean machine-time ratio
+	// Profile resolves the run's work to paper phases (candidates / graph /
+	// chain); the per-phase ops columns of Cells come from it.
+	Profile mpc.PhaseProfile
 }
 
 // Columns returns the header cells matching Cells.
 func Columns() []string {
 	return []string{"algo", "n", "x", "eps", "value", "exact", "factor",
 		"rounds", "machines", "mem/machine", "totalOps", "criticalOps",
-		"comm", "elapsedMs", "straggler"}
+		"comm", "candOps", "graphOps", "chainOps", "elapsedMs", "straggler"}
+}
+
+// phaseOps renders one phase's op count, "-" when the phase never ran.
+func (r Row) phaseOps(ph trace.Phase) string {
+	if ps, ok := r.Profile.Get(ph); ok {
+		return fmt.Sprint(ps.TotalOps)
+	}
+	return "-"
 }
 
 // Cells renders the row for stats.Table.
@@ -55,8 +68,10 @@ func (r Row) Cells() []interface{} {
 		straggler = fmt.Sprintf("%.2f", r.Straggler)
 	}
 	return []interface{}{r.Algo, r.N, r.X, r.Eps, r.Value, exact, factor,
-		r.Rounds, r.Machines, r.MemWords, r.TotalOps, r.CritOps,
-		r.CommWords, fmt.Sprintf("%.2f", r.ElapsedMs), straggler}
+		r.Rounds, r.Machines, r.MemWords, r.TotalOps, r.CritOps, r.CommWords,
+		r.phaseOps(trace.PhaseCandidates), r.phaseOps(trace.PhaseGraph),
+		r.phaseOps(trace.PhaseChain),
+		fmt.Sprintf("%.2f", r.ElapsedMs), straggler}
 }
 
 func fromResult(algo string, n int, p core.Params, res core.Result, exact int) Row {
@@ -71,6 +86,7 @@ func fromResult(algo string, n int, p core.Params, res core.Result, exact int) R
 		CommWords: res.Report.CommWords,
 		ElapsedMs: float64(res.Report.Elapsed.Nanoseconds()) / 1e6,
 		Straggler: res.Report.MaxStraggler,
+		Profile:   mpc.Profile(res.Report),
 	}
 	if exact > 0 {
 		row.Factor = float64(res.Value) / float64(exact)

@@ -74,12 +74,13 @@ type Config struct {
 // RoundStats records the measured model quantities of one round.
 type RoundStats struct {
 	Name          string
-	Machines      int   // distinct machines that received input
-	MaxInWords    int   // max words resident on a machine (input)
-	MaxOutWords   int   // max words emitted by a machine
-	TotalOps      int64 // sum of ops over machines
-	MaxMachineOps int64 // max ops on one machine ("parallel time")
-	CommWords     int64 // words shipped between machines after the round
+	Phase         trace.Phase // the paper phase the round implements
+	Machines      int         // distinct machines that received input
+	MaxInWords    int         // max words resident on a machine (input)
+	MaxOutWords   int         // max words emitted by a machine
+	TotalOps      int64       // sum of ops over machines
+	MaxMachineOps int64       // max ops on one machine ("parallel time")
+	CommWords     int64       // words shipped between machines after the round
 	// Elapsed is the wall time of machine execution only: first machine
 	// start to last machine end, with each machine's clock starting after
 	// it acquires an execution slot. Semaphore queueing is excluded and
@@ -111,11 +112,16 @@ type Report struct {
 	MaxStraggler float64
 }
 
-// String renders the report as a single summary line.
+// String renders the report as a summary line followed by one line per
+// phase that ran (the Table 1 quantities resolved to paper phases).
 func (r Report) String() string {
-	return fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d elapsed=%s",
+	s := fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d elapsed=%s",
 		r.NumRounds, r.MaxMachines, r.MaxWords, r.TotalOps, r.CriticalOps, r.CommWords,
 		r.Elapsed.Round(time.Microsecond))
+	for _, ps := range Profile(r).Phases {
+		s += "\n  " + ps.String()
+	}
+	return s
 }
 
 // Cluster is a simulated MPC deployment. The zero value is not usable;
@@ -173,6 +179,7 @@ type Ctx struct {
 	Round   int
 
 	cluster *Cluster
+	phase   trace.Phase
 	obs     trace.Observer
 	ops     stats.Ops
 	out     []Message
@@ -311,6 +318,7 @@ func (x *Ctx) span(name string) trace.MachineSpan {
 	return trace.MachineSpan{
 		Round:     x.Round,
 		Name:      name,
+		Phase:     x.phase,
 		Machine:   x.Machine,
 		Start:     x.start,
 		End:       x.end,
@@ -328,16 +336,23 @@ func (x *Ctx) span(name string) trace.MachineSpan {
 // the next round's inputs (returned sorted by machine id for determinism).
 // It enforces the per-machine memory cap on inputs and outputs and the
 // machine-count cap, returning a *MemoryError on violation.
-func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (map[int][]Payload, error) {
+//
+// phase names the paper phase the round implements; it is validated before
+// anything else happens, so a round can never reach the Observer — or the
+// round history — without a valid phase label.
+func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, fn MachineFunc) (map[int][]Payload, error) {
+	if err := trace.CheckPhase(phase); err != nil {
+		return nil, fmt.Errorf("mpc: round %q: %w", name, err)
+	}
 	round := len(c.rounds)
-	st := RoundStats{Name: name, Machines: len(inputs)}
+	st := RoundStats{Name: name, Phase: phase, Machines: len(inputs)}
 	obs := c.cfg.Observer
 	ctx := c.cfg.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if obs != nil {
-		obs.RoundStart(trace.RoundInfo{Round: round, Name: name, Machines: len(inputs)})
+		obs.RoundStart(trace.RoundInfo{Round: round, Name: name, Phase: phase, Machines: len(inputs)})
 	}
 	// fail closes the round for observers on pre-flight and post-run
 	// errors, so a violation is visible on a trace, not only in the error.
@@ -379,7 +394,7 @@ func (c *Cluster) Run(name string, inputs map[int][]Payload, fn MachineFunc) (ma
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.cfg.Parallelism)
 	for k, id := range ids {
-		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, obs: obs, inWords: inWords[k]}
+		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: inWords[k]}
 		wg.Add(1)
 		go func(x *Ctx, in []Payload) {
 			defer wg.Done()
@@ -473,6 +488,7 @@ func summary(round int, st *RoundStats) trace.RoundSummary {
 	return trace.RoundSummary{
 		Round:     round,
 		Name:      st.Name,
+		Phase:     st.Phase,
 		Machines:  st.Machines,
 		Elapsed:   st.Elapsed,
 		QueueWait: st.QueueWait,

@@ -18,7 +18,7 @@ func TestRunSingleRoundRouting(t *testing.T) {
 		0: {Ints{1, 2, 3}},
 		1: {Ints{4, 5}},
 	}
-	out, err := c.Run("echo", in, func(x *Ctx, in []Payload) {
+	out, err := c.Run("echo", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		for _, p := range in {
 			for _, v := range p.(Ints) {
 				x.Send(v%2, Int(v))
@@ -56,7 +56,7 @@ func TestRunSingleRoundRouting(t *testing.T) {
 func TestInputMemoryViolation(t *testing.T) {
 	c := NewCluster(Config{MachineWords: 3})
 	in := map[int][]Payload{0: {Ints{1, 2, 3}}} // 4 words > 3
-	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {})
+	_, err := c.Run("r", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {})
 	var me *MemoryError
 	if !errors.As(err, &me) || me.Kind != "input" {
 		t.Fatalf("want input MemoryError, got %v", err)
@@ -66,7 +66,7 @@ func TestInputMemoryViolation(t *testing.T) {
 func TestOutputMemoryViolation(t *testing.T) {
 	c := NewCluster(Config{MachineWords: 4})
 	in := map[int][]Payload{0: {Int(1)}}
-	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {
+	_, err := c.Run("r", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		x.Send(1, Ints{1, 2, 3, 4, 5})
 	})
 	var me *MemoryError
@@ -78,7 +78,7 @@ func TestOutputMemoryViolation(t *testing.T) {
 func TestMachineCountViolation(t *testing.T) {
 	c := NewCluster(Config{MaxMachines: 2})
 	in := map[int][]Payload{0: {Int(0)}, 1: {Int(1)}, 2: {Int(2)}}
-	_, err := c.Run("r", in, func(x *Ctx, in []Payload) {})
+	_, err := c.Run("r", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {})
 	var me *MemoryError
 	if !errors.As(err, &me) || me.Kind != "machines" {
 		t.Fatalf("want machines MemoryError, got %v", err)
@@ -92,7 +92,7 @@ func TestDeterministicRouting(t *testing.T) {
 		for id := 0; id < 16; id++ {
 			in[id] = []Payload{Int(id)}
 		}
-		out, err := c.Run("scatter", in, func(x *Ctx, in []Payload) {
+		out, err := c.Run("scatter", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 			r := x.Rand()
 			for i := 0; i < 4; i++ {
 				x.Send(0, Int(r.Intn(1000)))
@@ -121,7 +121,7 @@ func TestDeterministicRouting(t *testing.T) {
 func TestSharedRandCommonAcrossMachines(t *testing.T) {
 	c := NewCluster(Config{Seed: 7})
 	in := map[int][]Payload{0: {Int(0)}, 5: {Int(5)}, 9: {Int(9)}}
-	out, err := c.Run("shared", in, func(x *Ctx, in []Payload) {
+	out, err := c.Run("shared", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		x.Send(0, Int(x.SharedRand("L").Intn(1<<30)))
 	})
 	if err != nil {
@@ -149,7 +149,7 @@ func TestSharedRandCommonAcrossMachines(t *testing.T) {
 func TestMultiRoundReport(t *testing.T) {
 	c := NewCluster(Config{MachineWords: 1000})
 	in := map[int][]Payload{0: {Ints{1, 2, 3, 4}}}
-	mid, err := c.Run("one", in, func(x *Ctx, in []Payload) {
+	mid, err := c.Run("one", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		x.Ops(10)
 		for _, p := range in {
 			for i, v := range p.(Ints) {
@@ -160,7 +160,7 @@ func TestMultiRoundReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Run("two", mid, func(x *Ctx, in []Payload) { x.Ops(3) })
+	_, err = c.Run("two", trace.PhaseCandidates, mid, func(x *Ctx, in []Payload) { x.Ops(3) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestBinPack(t *testing.T) {
 func TestCommWordsAccounting(t *testing.T) {
 	c := NewCluster(Config{})
 	in := map[int][]Payload{0: {Int(1)}, 1: {Int(2)}}
-	_, err := c.Run("comm", in, func(x *Ctx, in []Payload) {
+	_, err := c.Run("comm", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		x.Send(0, Ints{1, 2, 3}) // 4 words
 	})
 	if err != nil {
@@ -256,7 +256,7 @@ func TestParallelismEquivalence(t *testing.T) {
 		for id := 0; id < 24; id++ {
 			in[id] = []Payload{Int(id)}
 		}
-		out, err := c.Run("r", in, func(x *Ctx, in []Payload) {
+		out, err := c.Run("r", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 			r := x.Rand()
 			x.Ops(int64(r.Intn(50)))
 			x.Send(int(in[0].(Int))%3, Int(r.Intn(100)))
@@ -296,7 +296,7 @@ func TestElapsedExcludesQueueWait(t *testing.T) {
 	for id := 0; id < 4; id++ {
 		in[id] = []Payload{Int(id)}
 	}
-	_, err := c.Run("sleepy", in, func(x *Ctx, _ []Payload) {
+	_, err := c.Run("sleepy", trace.PhaseCandidates, in, func(x *Ctx, _ []Payload) {
 		time.Sleep(4 * time.Millisecond)
 	})
 	if err != nil {
@@ -326,7 +326,7 @@ func TestObserverEventStream(t *testing.T) {
 	col := &trace.Collector{}
 	c := NewCluster(Config{Observer: col, MachineWords: 100})
 	in := map[int][]Payload{0: {Ints{1, 2, 3}}, 1: {Ints{4, 5}}}
-	mid, err := c.Run("stage1", in, func(x *Ctx, in []Payload) {
+	mid, err := c.Run("stage1", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 		x.Ops(7)
 		x.Send(0, Int(1))
 		x.Send(1, Int(2))
@@ -334,7 +334,7 @@ func TestObserverEventStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run("stage2", mid, func(x *Ctx, in []Payload) { x.Ops(1) }); err != nil {
+	if _, err := c.Run("stage2", trace.PhaseCandidates, mid, func(x *Ctx, in []Payload) { x.Ops(1) }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -372,7 +372,7 @@ func TestMemoryErrorsSurfaceThroughObserver(t *testing.T) {
 	// open and close with the error.
 	colIn := &trace.Collector{}
 	c := NewCluster(Config{MachineWords: 3, Observer: colIn})
-	_, err := c.Run("in", map[int][]Payload{0: {Ints{1, 2, 3}}}, func(x *Ctx, in []Payload) {})
+	_, err := c.Run("in", trace.PhaseCandidates, map[int][]Payload{0: {Ints{1, 2, 3}}}, func(x *Ctx, in []Payload) {})
 	var me *MemoryError
 	if !errors.As(err, &me) || me.Kind != "input" {
 		t.Fatalf("want input MemoryError, got %v", err)
@@ -388,7 +388,7 @@ func TestMemoryErrorsSurfaceThroughObserver(t *testing.T) {
 	// closing summary carries the error.
 	colOut := &trace.Collector{}
 	c = NewCluster(Config{MachineWords: 4, Observer: colOut})
-	_, err = c.Run("out", map[int][]Payload{0: {Int(1)}}, func(x *Ctx, in []Payload) {
+	_, err = c.Run("out", trace.PhaseCandidates, map[int][]Payload{0: {Int(1)}}, func(x *Ctx, in []Payload) {
 		x.Send(1, Ints{1, 2, 3, 4, 5})
 	})
 	if !errors.As(err, &me) || me.Kind != "output" {
@@ -404,7 +404,7 @@ func TestMemoryErrorsSurfaceThroughObserver(t *testing.T) {
 	// Machine-count violation for completeness.
 	colM := &trace.Collector{}
 	c = NewCluster(Config{MaxMachines: 1, Observer: colM})
-	_, err = c.Run("m", map[int][]Payload{0: {Int(0)}, 1: {Int(1)}}, func(x *Ctx, in []Payload) {})
+	_, err = c.Run("m", trace.PhaseCandidates, map[int][]Payload{0: {Int(0)}, 1: {Int(1)}}, func(x *Ctx, in []Payload) {})
 	if !errors.As(err, &me) || me.Kind != "machines" {
 		t.Fatalf("want machines MemoryError, got %v", err)
 	}
@@ -473,7 +473,7 @@ func benchRun(b *testing.B, obs trace.Observer) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := NewCluster(Config{Observer: obs})
-		if _, err := c.Run("bench", in, func(x *Ctx, in []Payload) {
+		if _, err := c.Run("bench", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
 			x.Ops(1)
 			x.Send(0, Int(1))
 		}); err != nil {

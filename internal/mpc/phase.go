@@ -1,0 +1,173 @@
+package mpc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mpcdist/internal/trace"
+)
+
+// PhaseStats aggregates the Table 1 quantities of every round that carries
+// one phase label. The fields mirror Report's aggregation rules restricted
+// to the phase's rounds: sums for rounds/ops/comm/elapsed, maxima for
+// machines/memory/straggler, and the per-round max-machine-ops sum for the
+// critical path.
+type PhaseStats struct {
+	Phase       trace.Phase
+	Rounds      int
+	MaxMachines int   // max machines used in any round of the phase
+	MaxWords    int   // max per-machine memory observed in the phase
+	TotalOps    int64 // total computation across the phase's rounds
+	CriticalOps int64 // sum over the phase's rounds of max per-machine ops
+	CommWords   int64 // communication volume emitted by the phase's rounds
+	// Elapsed sums machine-execution wall time; QueueWait sums semaphore
+	// waits (host effects, excluded from Elapsed).
+	Elapsed   time.Duration
+	QueueWait time.Duration
+	// MaxStraggler is the worst per-round straggler ratio within the phase.
+	MaxStraggler float64
+}
+
+// String renders the phase's stats as one summary line.
+func (p PhaseStats) String() string {
+	return fmt.Sprintf("phase=%-10s rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d elapsed=%s",
+		p.Phase, p.Rounds, p.MaxMachines, p.MaxWords, p.TotalOps, p.CriticalOps, p.CommWords,
+		p.Elapsed.Round(time.Microsecond))
+}
+
+// PhaseProfile is a Report re-aggregated by paper phase: one PhaseStats per
+// phase that actually ran, in canonical taxonomy order. Because every round
+// carries exactly one phase (the simulator rejects unphased rounds), the
+// profile is a partition of the report — Conserves checks that invariant.
+type PhaseProfile struct {
+	Phases []PhaseStats
+}
+
+// Profile groups a report's rounds by phase. Rounds with an unknown phase
+// (possible only for hand-built Reports; the simulator never records one)
+// are grouped under their literal label and sorted after the taxonomy.
+func Profile(r Report) PhaseProfile {
+	byPhase := make(map[trace.Phase]*PhaseStats)
+	var order []trace.Phase
+	for _, rs := range r.Rounds {
+		ps := byPhase[rs.Phase]
+		if ps == nil {
+			ps = &PhaseStats{Phase: rs.Phase}
+			byPhase[rs.Phase] = ps
+			order = append(order, rs.Phase)
+		}
+		ps.Rounds++
+		if rs.Machines > ps.MaxMachines {
+			ps.MaxMachines = rs.Machines
+		}
+		w := rs.MaxInWords
+		if rs.MaxOutWords > w {
+			w = rs.MaxOutWords
+		}
+		if w > ps.MaxWords {
+			ps.MaxWords = w
+		}
+		ps.TotalOps += rs.TotalOps
+		ps.CriticalOps += rs.MaxMachineOps
+		ps.CommWords += rs.CommWords
+		ps.Elapsed += rs.Elapsed
+		ps.QueueWait += rs.QueueWait
+		if rs.Skew.Straggler > ps.MaxStraggler {
+			ps.MaxStraggler = rs.Skew.Straggler
+		}
+	}
+	// Canonical order: taxonomy position, then label for unknown phases.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if a.Index() < b.Index() || (a.Index() == b.Index() && a <= b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	prof := PhaseProfile{Phases: make([]PhaseStats, 0, len(order))}
+	for _, ph := range order {
+		prof.Phases = append(prof.Phases, *byPhase[ph])
+	}
+	return prof
+}
+
+// Get returns the stats for one phase and whether any of its rounds ran.
+func (p PhaseProfile) Get(ph trace.Phase) (PhaseStats, bool) {
+	for _, ps := range p.Phases {
+		if ps.Phase == ph {
+			return ps, true
+		}
+	}
+	return PhaseStats{}, false
+}
+
+// String renders the profile as one line per phase.
+func (p PhaseProfile) String() string {
+	lines := make([]string, len(p.Phases))
+	for i, ps := range p.Phases {
+		lines[i] = ps.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Conserves verifies that the profile is an exact partition of the report:
+// summable quantities (rounds, total ops, critical ops, comm words, elapsed,
+// queue wait) sum over phases to the report's totals, and max quantities
+// (machines, per-machine memory, straggler ratio) reach the report's maxima.
+// It returns a descriptive error naming the first violated quantity.
+//
+// The invariant holds for any single cluster's Report() because every round
+// lands in exactly one phase bucket. It is NOT expected to hold for reports
+// merged across parallel clusters (core.AggregateReports takes rounds=max
+// and criticalOps=max across guesses, which deliberately breaks additivity);
+// conserve per cluster, then aggregate.
+func (p PhaseProfile) Conserves(r Report) error {
+	var (
+		rounds            int
+		total, crit, comm int64
+		elapsed, wait     time.Duration
+		maxMach, maxWords int
+		maxStrag          float64
+	)
+	for _, ps := range p.Phases {
+		rounds += ps.Rounds
+		total += ps.TotalOps
+		crit += ps.CriticalOps
+		comm += ps.CommWords
+		elapsed += ps.Elapsed
+		wait += ps.QueueWait
+		if ps.MaxMachines > maxMach {
+			maxMach = ps.MaxMachines
+		}
+		if ps.MaxWords > maxWords {
+			maxWords = ps.MaxWords
+		}
+		if ps.MaxStraggler > maxStrag {
+			maxStrag = ps.MaxStraggler
+		}
+	}
+	switch {
+	case rounds != r.NumRounds:
+		return fmt.Errorf("mpc: phase profile rounds %d != report %d", rounds, r.NumRounds)
+	case total != r.TotalOps:
+		return fmt.Errorf("mpc: phase profile totalOps %d != report %d", total, r.TotalOps)
+	case crit != r.CriticalOps:
+		return fmt.Errorf("mpc: phase profile criticalOps %d != report %d", crit, r.CriticalOps)
+	case comm != r.CommWords:
+		return fmt.Errorf("mpc: phase profile commWords %d != report %d", comm, r.CommWords)
+	case elapsed != r.Elapsed:
+		return fmt.Errorf("mpc: phase profile elapsed %s != report %s", elapsed, r.Elapsed)
+	case wait != r.QueueWait:
+		return fmt.Errorf("mpc: phase profile queueWait %s != report %s", wait, r.QueueWait)
+	case maxMach != r.MaxMachines:
+		return fmt.Errorf("mpc: phase profile maxMachines %d != report %d", maxMach, r.MaxMachines)
+	case maxWords != r.MaxWords:
+		return fmt.Errorf("mpc: phase profile maxWords %d != report %d", maxWords, r.MaxWords)
+	case maxStrag != r.MaxStraggler:
+		return fmt.Errorf("mpc: phase profile maxStraggler %g != report %g", maxStrag, r.MaxStraggler)
+	}
+	return nil
+}

@@ -56,6 +56,20 @@ type AlgoStats struct {
 	TotalOps      int64  `json:"totalOps,omitempty"`
 	TotalComm     int64  `json:"totalCommWords,omitempty"`
 	TotalCritical int64  `json:"totalCriticalOps,omitempty"`
+	// Phases attributes the MPC aggregates to paper phases, keyed by
+	// phase name (candidates / graph / chain).
+	Phases map[string]*PhaseAgg `json:"phases,omitempty"`
+}
+
+// PhaseAgg aggregates one (algorithm, phase) cell over computed MPC runs:
+// totals accumulate, maxima track the largest single run.
+type PhaseAgg struct {
+	Rounds        int64 `json:"rounds"`
+	MaxMachines   int   `json:"maxMachines"`
+	MaxWords      int   `json:"maxWords"`
+	TotalOps      int64 `json:"totalOps"`
+	TotalComm     int64 `json:"totalCommWords"`
+	TotalCritical int64 `json:"totalCriticalOps"`
 }
 
 // Metrics is the server-wide observability registry behind /metrics.
@@ -114,6 +128,26 @@ func (m *Metrics) Observe(algo string, elapsed time.Duration, cached bool, faile
 		st.TotalOps += rep.TotalOps
 		st.TotalComm += rep.CommWords
 		st.TotalCritical += rep.CriticalOps
+		for _, ph := range rep.Phases {
+			if st.Phases == nil {
+				st.Phases = make(map[string]*PhaseAgg)
+			}
+			pa, ok := st.Phases[ph.Phase]
+			if !ok {
+				pa = &PhaseAgg{}
+				st.Phases[ph.Phase] = pa
+			}
+			pa.Rounds += int64(ph.Rounds)
+			if ph.MaxMachines > pa.MaxMachines {
+				pa.MaxMachines = ph.MaxMachines
+			}
+			if ph.MaxWords > pa.MaxWords {
+				pa.MaxWords = ph.MaxWords
+			}
+			pa.TotalOps += ph.TotalOps
+			pa.TotalComm += ph.CommWords
+			pa.TotalCritical += ph.CriticalOps
+		}
 	}
 }
 
@@ -170,6 +204,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	for name, st := range m.perAlgo {
 		c := *st
 		c.Latency = st.Latency.clone()
+		if st.Phases != nil {
+			c.Phases = make(map[string]*PhaseAgg, len(st.Phases))
+			for ph, pa := range st.Phases {
+				cp := *pa
+				c.Phases[ph] = &cp
+			}
+		}
 		algs[name] = &c
 	}
 	return Snapshot{

@@ -100,6 +100,67 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestPhaseMetrics checks that phase attribution survives the whole wire
+// path: the answer's report carries per-phase cells that sum to the run
+// totals, and /metrics exposes per-(algo, phase) series in both formats.
+func TestPhaseMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ans := decodeAnswer(t, post(t, ts.URL+"/v1/distance",
+		Query{Algo: "edit-mpc", A: "abcabcabcabcabcabcab", B: "abcabcXbcabcabcabYab", X: 0.25, Seed: 3}))
+	if ans.Report == nil || len(ans.Report.Phases) == 0 {
+		t.Fatalf("answer report has no phases: %+v", ans.Report)
+	}
+	var ops, comm int64
+	seen := map[string]bool{}
+	for _, ph := range ans.Report.Phases {
+		seen[ph.Phase] = true
+		ops += ph.TotalOps
+		comm += ph.CommWords
+	}
+	if !seen["candidates"] || !seen["chain"] {
+		t.Errorf("phases %v, want candidates and chain present", seen)
+	}
+	if ops != ans.Report.TotalOps || comm != ans.Report.CommWords {
+		t.Errorf("phase sums ops=%d comm=%d != report totals ops=%d comm=%d",
+			ops, comm, ans.Report.TotalOps, ans.Report.CommWords)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`mpcserve_mpc_phase_rounds_total{algo="edit-mpc",phase="candidates"}`,
+		`mpcserve_mpc_phase_total_ops_total{algo="edit-mpc",phase="chain"}`,
+		`mpcserve_mpc_phase_comm_words_total{algo="edit-mpc",phase="candidates"}`,
+		`mpcserve_mpc_phase_max_machines{algo="edit-mpc",phase="candidates"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing series %q", want)
+		}
+	}
+
+	var snap Snapshot
+	jr, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if err := json.NewDecoder(jr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	st := snap.Algorithms["edit-mpc"]
+	if st == nil || st.Phases["candidates"] == nil || st.Phases["candidates"].TotalOps <= 0 {
+		t.Fatalf("JSON snapshot missing per-phase aggregation: %+v", st)
+	}
+}
+
 func TestMetricsJSONFallback(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/metrics?format=json")

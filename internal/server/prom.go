@@ -145,6 +145,62 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 			p.value(c.name, algoLabel(name), c.get(st))
 		}
 	}
+	// Per-phase MPC aggregates: the same quantities attributed to the
+	// paper phases (candidates / graph / chain), labeled {algo, phase}.
+	phaseLabel := func(algo, phase string) string {
+		return algoLabel(algo) + `,phase="` + escapeLabel(phase) + `"`
+	}
+	type phaseCell struct {
+		algo, phase string
+		agg         *PhaseAgg
+	}
+	var phaseCells []phaseCell
+	for _, name := range algoNames {
+		st := snap.Algorithms[name]
+		phases := make([]string, 0, len(st.Phases))
+		for ph := range st.Phases {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			phaseCells = append(phaseCells, phaseCell{algo: name, phase: ph, agg: st.Phases[ph]})
+		}
+	}
+	phaseCounters := []struct {
+		name, help string
+		get        func(*PhaseAgg) float64
+	}{
+		{"mpcserve_mpc_phase_rounds_total", "Simulated rounds executed in this phase.", func(a *PhaseAgg) float64 { return float64(a.Rounds) }},
+		{"mpcserve_mpc_phase_total_ops_total", "Simulated operations charged to this phase.", func(a *PhaseAgg) float64 { return float64(a.TotalOps) }},
+		{"mpcserve_mpc_phase_comm_words_total", "Simulated communication (words) charged to this phase.", func(a *PhaseAgg) float64 { return float64(a.TotalComm) }},
+		{"mpcserve_mpc_phase_critical_ops_total", "Critical-path operations charged to this phase.", func(a *PhaseAgg) float64 { return float64(a.TotalCritical) }},
+	}
+	for _, c := range phaseCounters {
+		if len(phaseCells) == 0 {
+			break
+		}
+		p.header(c.name, c.help, "counter")
+		for _, cell := range phaseCells {
+			p.value(c.name, phaseLabel(cell.algo, cell.phase), c.get(cell.agg))
+		}
+	}
+	phaseGauges := []struct {
+		name, help string
+		get        func(*PhaseAgg) float64
+	}{
+		{"mpcserve_mpc_phase_max_machines", "Max machines observed in this phase in one simulation.", func(a *PhaseAgg) float64 { return float64(a.MaxMachines) }},
+		{"mpcserve_mpc_phase_max_words", "Max per-machine words observed in this phase in one simulation.", func(a *PhaseAgg) float64 { return float64(a.MaxWords) }},
+	}
+	for _, g := range phaseGauges {
+		if len(phaseCells) == 0 {
+			break
+		}
+		p.header(g.name, g.help, "gauge")
+		for _, cell := range phaseCells {
+			p.value(g.name, phaseLabel(cell.algo, cell.phase), g.get(cell.agg))
+		}
+	}
+
 	mpcGauges := []struct {
 		name, help string
 		get        func(*AlgoStats) float64

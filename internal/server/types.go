@@ -57,18 +57,32 @@ type WindowJSON struct {
 }
 
 // ReportJSON is the wire form of an mpc.Report summary (per-round detail
-// is dropped; the metrics endpoint aggregates it).
+// is dropped; the metrics endpoint aggregates it). Phases attributes the
+// run's cost to the paper phases (candidates / graph / chain) in canonical
+// order.
 type ReportJSON struct {
-	Rounds      int   `json:"rounds"`
-	MaxMachines int   `json:"maxMachines"`
-	MaxWords    int   `json:"maxWords"`
-	TotalOps    int64 `json:"totalOps"`
-	CriticalOps int64 `json:"criticalOps"`
-	CommWords   int64 `json:"commWords"`
+	Rounds      int         `json:"rounds"`
+	MaxMachines int         `json:"maxMachines"`
+	MaxWords    int         `json:"maxWords"`
+	TotalOps    int64       `json:"totalOps"`
+	CriticalOps int64       `json:"criticalOps"`
+	CommWords   int64       `json:"commWords"`
+	Phases      []PhaseJSON `json:"phases,omitempty"`
+}
+
+// PhaseJSON is one phase's share of a run's Table 1 quantities.
+type PhaseJSON struct {
+	Phase       string `json:"phase"`
+	Rounds      int    `json:"rounds"`
+	MaxMachines int    `json:"maxMachines"`
+	MaxWords    int    `json:"maxWords"`
+	TotalOps    int64  `json:"totalOps"`
+	CriticalOps int64  `json:"criticalOps"`
+	CommWords   int64  `json:"commWords"`
 }
 
 func reportJSON(r mpcdist.Report) *ReportJSON {
-	return &ReportJSON{
+	rep := &ReportJSON{
 		Rounds:      r.NumRounds,
 		MaxMachines: r.MaxMachines,
 		MaxWords:    r.MaxWords,
@@ -76,6 +90,18 @@ func reportJSON(r mpcdist.Report) *ReportJSON {
 		CriticalOps: r.CriticalOps,
 		CommWords:   r.CommWords,
 	}
+	for _, ps := range mpcdist.Profile(r).Phases {
+		rep.Phases = append(rep.Phases, PhaseJSON{
+			Phase:       string(ps.Phase),
+			Rounds:      ps.Rounds,
+			MaxMachines: ps.MaxMachines,
+			MaxWords:    ps.MaxWords,
+			TotalOps:    ps.TotalOps,
+			CriticalOps: ps.CriticalOps,
+			CommWords:   ps.CommWords,
+		})
+	}
+	return rep
 }
 
 // ErrorBody is the JSON error envelope.

@@ -79,9 +79,12 @@ func (c *Chrome) RoundEnd(r RoundSummary) {
 	c.mu.Unlock()
 }
 
-// chromeEvent is one trace event in Chrome's JSON schema.
+// chromeEvent is one trace event in Chrome's JSON schema. Cat carries the
+// round's paper phase as the event category, so Perfetto's category filter
+// isolates one phase across every machine track.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
@@ -159,6 +162,7 @@ func (c *Chrome) build() chromeFile {
 		s := r.summary
 		args := map[string]any{
 			"round":       s.Round,
+			"phase":       string(s.Phase),
 			"machines":    s.Machines,
 			"totalOps":    s.TotalOps,
 			"commWords":   s.CommWords,
@@ -168,7 +172,7 @@ func (c *Chrome) build() chromeFile {
 		if s.Err != "" {
 			args["error"] = s.Err
 		}
-		ev := chromeEvent{Name: s.Name, Ph: "X", Pid: r.pid, Tid: roundsTrack,
+		ev := chromeEvent{Name: s.Name, Cat: string(s.Phase), Ph: "X", Pid: r.pid, Tid: roundsTrack,
 			Ts: us(s.Start), Dur: float64(s.Elapsed) / float64(time.Microsecond), Args: args}
 		if s.Start.IsZero() {
 			// No machine ran (pre-flight failure or cancellation): an
@@ -182,10 +186,11 @@ func (c *Chrome) build() chromeFile {
 		proc(cs.pid)
 		meta(cs.pid, s.Machine+1, "machine "+strconv.Itoa(s.Machine))
 		events = append(events, chromeEvent{
-			Name: s.Name, Ph: "X", Pid: cs.pid, Tid: s.Machine + 1,
+			Name: s.Name, Cat: string(s.Phase), Ph: "X", Pid: cs.pid, Tid: s.Machine + 1,
 			Ts: us(s.Start), Dur: float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
 			Args: map[string]any{
 				"round":       s.Round,
+				"phase":       string(s.Phase),
 				"ops":         s.Ops,
 				"inWords":     s.InWords,
 				"outWords":    s.OutWords,

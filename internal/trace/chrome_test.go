@@ -26,7 +26,7 @@ func runWorkload(t *testing.T, ch *trace.Chrome) {
 		1: {mpc.Ints{4, 5}},
 		2: {mpc.Ints{6}},
 	}
-	mid, err := c.Run("scatter", in, func(x *mpc.Ctx, in []mpc.Payload) {
+	mid, err := c.Run("scatter", trace.PhaseCandidates, in, func(x *mpc.Ctx, in []mpc.Payload) {
 		x.Ops(int64(10 * (x.Machine + 1)))
 		for _, p := range in {
 			for _, v := range p.(mpc.Ints) {
@@ -37,7 +37,7 @@ func runWorkload(t *testing.T, ch *trace.Chrome) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run("gather", mid, func(x *mpc.Ctx, in []mpc.Payload) {
+	if _, err := c.Run("gather", trace.PhaseCandidates, mid, func(x *mpc.Ctx, in []mpc.Payload) {
 		x.Ops(int64(mpc.PayloadWords(in)))
 	}); err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestChromeMultipleRunsGetDistinctPids(t *testing.T) {
 func TestChromeFailedRoundVisible(t *testing.T) {
 	ch := trace.NewChrome()
 	c := mpc.NewCluster(mpc.Config{MachineWords: 2, Observer: ch})
-	_, err := c.Run("boom", map[int][]mpc.Payload{0: {mpc.Ints{1, 2, 3}}}, func(x *mpc.Ctx, in []mpc.Payload) {})
+	_, err := c.Run("boom", trace.PhaseCandidates, map[int][]mpc.Payload{0: {mpc.Ints{1, 2, 3}}}, func(x *mpc.Ctx, in []mpc.Payload) {})
 	if err == nil {
 		t.Fatal("want memory violation")
 	}

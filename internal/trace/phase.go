@@ -1,0 +1,76 @@
+package trace
+
+import "fmt"
+
+// Phase is the paper-level algorithm phase a simulated round implements.
+// Table 1 states its budgets (rounds, per-machine memory, machines, total
+// work) per algorithm, but the proofs charge them phase by phase; tagging
+// every round with its phase is what lets the observability layer aggregate
+// measurements in the same shape the paper argues in (and what BudgetCheck
+// evaluates envelopes against).
+//
+// The taxonomy, mapped to the paper's structure:
+//
+//	PhasePartition   block partition / input distribution rounds. The
+//	                 simulator's drivers currently partition inputs outside
+//	                 of rounds, so no built-in algorithm emits it today; it
+//	                 is reserved for algorithms that shuffle inputs into
+//	                 blocks inside the model (e.g. a future sort-based
+//	                 partitioner).
+//	PhaseCandidates  candidate-substring construction and scoring: Ulam
+//	                 Algorithm 1 (lulam + hitting-set grids), the
+//	                 small-distance pair rounds of Lemma 6, and the [20]
+//	                 baseline's one-pair-per-machine rounds.
+//	PhaseGraph       the G_tau graph build of the large-distance regime:
+//	                 representative distance grids (Algorithm 5), the
+//	                 N_tau(z) x N_2tau(z) join and low-degree sparse runs
+//	                 (Algorithm 6), and extension (Algorithm 7).
+//	PhaseChain       chaining / longest-decreasing-extension DPs: Ulam
+//	                 Algorithm 2, the edit-distance chain of Algorithm 4,
+//	                 and the overlap-tolerant DP of Section 5.2.3.
+//
+// Every Cluster.Run call must carry a valid Phase; the simulator rejects
+// unphased rounds, so a round can never reach an Observer without one.
+type Phase string
+
+const (
+	PhasePartition  Phase = "partition"
+	PhaseCandidates Phase = "candidates"
+	PhaseGraph      Phase = "graph"
+	PhaseChain      Phase = "chain"
+)
+
+// AllPhases lists the taxonomy in canonical (pipeline) order. Aggregators
+// iterate it so per-phase output has a stable column/row order.
+func AllPhases() []Phase {
+	return []Phase{PhasePartition, PhaseCandidates, PhaseGraph, PhaseChain}
+}
+
+// Valid reports whether p is one of the defined phases.
+func (p Phase) Valid() bool {
+	switch p {
+	case PhasePartition, PhaseCandidates, PhaseGraph, PhaseChain:
+		return true
+	}
+	return false
+}
+
+// Index returns the phase's position in canonical order, or len(AllPhases())
+// for unknown phases (so they sort last rather than scrambling output).
+func (p Phase) Index() int {
+	for i, q := range AllPhases() {
+		if p == q {
+			return i
+		}
+	}
+	return len(AllPhases())
+}
+
+// CheckPhase returns a descriptive error for an invalid phase, nil
+// otherwise. The simulator calls it before opening a round.
+func CheckPhase(p Phase) error {
+	if p.Valid() {
+		return nil
+	}
+	return fmt.Errorf("trace: invalid phase %q (rounds must carry one of %v)", string(p), AllPhases())
+}

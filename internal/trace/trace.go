@@ -23,6 +23,7 @@ import "time"
 type RoundInfo struct {
 	Round    int    // zero-based round index within the cluster's history
 	Name     string // the round's label, e.g. "ulam:solve"
+	Phase    Phase  // the paper phase the round implements
 	Machines int    // machines that received input this round
 }
 
@@ -33,6 +34,7 @@ type RoundInfo struct {
 type MachineSpan struct {
 	Round   int
 	Name    string // round name
+	Phase   Phase  // the paper phase of the round
 	Machine int
 	// Start and End delimit execution, excluding semaphore wait.
 	Start time.Time
@@ -58,6 +60,7 @@ func (s MachineSpan) Duration() time.Duration { return s.End.Sub(s.Start) }
 type RoundSummary struct {
 	Round    int
 	Name     string
+	Phase    Phase
 	Machines int
 	// Start and End delimit the round's execution window: first machine
 	// start to last machine end (zero when no machine ran).

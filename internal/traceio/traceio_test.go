@@ -1,0 +1,61 @@
+package traceio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// bytesTo is a minimal io.WriterTo over a fixed payload.
+type bytesTo string
+
+func (b bytesTo) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, string(b))
+	return int64(n), err
+}
+
+// failAfter writes a prefix and then fails, simulating a mid-export error.
+type failAfter struct{ prefix string }
+
+func (f failAfter) WriteTo(w io.Writer) (int64, error) {
+	n, _ := io.WriteString(w, f.prefix)
+	return int64(n), errors.New("boom")
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteFile(path, bytesTo(`{"traceEvents":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"traceEvents":[]}` {
+		t.Errorf("content %q", got)
+	}
+}
+
+func TestWriteFileCreateError(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "missing", "trace.json"), bytesTo("x"))
+	if err == nil {
+		t.Fatal("want error for unreachable path")
+	}
+	if !strings.Contains(err.Error(), "traceio: create") {
+		t.Errorf("error %q does not name the failing step", err)
+	}
+}
+
+func TestWriteFileRemovesPartialOnWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	err := WriteFile(path, failAfter{prefix: `{"traceEvents":[`})
+	if err == nil || !strings.Contains(err.Error(), "traceio: write") {
+		t.Fatalf("want wrapped write error, got %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("partial file left behind: stat err = %v", statErr)
+	}
+}
