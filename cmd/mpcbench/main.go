@@ -14,6 +14,14 @@
 //	                                  # counters against the baseline;
 //	                                  # exit 1 on any drift
 //	mpcbench -sizes 256,512 -seed 2   # sweep shape
+//	mpcbench -fault-crash 0.05 -out chaos.json
+//	                                  # chaos mode: recovery is exact, so
+//	                                  # every model counter still matches a
+//	                                  # fault-free run; the failures/retries
+//	                                  # fields record the recovery overhead.
+//	                                  # -compare diffs those fields too, so
+//	                                  # compare chaos runs against a baseline
+//	                                  # recorded with the same -fault flags
 //
 // Wall time is compared only when -tol is set above 1 (e.g. -tol 3 warns
 // when a case gets 3x slower or faster); it never fails the run — CI
@@ -30,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
 )
 
@@ -40,9 +49,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (must match the baseline's when comparing)")
 	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
 	tol := flag.Float64("tol", 0, "wall-time warning factor (>1 enables advisory wall-time comparison)")
+	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps}
+	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries}
+	if cfg.Faults != nil {
+		fmt.Fprintf(os.Stderr, "mpcbench: fault injection active: %s (failures/retries will be nonzero; compare against a faulted baseline)\n", cfg.Faults)
+	}
 	if *sizes != "" {
 		for _, f := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))

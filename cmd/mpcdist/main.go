@@ -24,6 +24,7 @@ import (
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
 	"mpcdist/internal/editdist"
+	"mpcdist/internal/fault"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/traceio"
@@ -43,12 +44,22 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-round statistics")
 	verify := flag.Bool("verify", false, "also compute the exact distance and report the factor")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the MPC rounds to this file")
+	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	a := input(*aStr, *aFile)
 	b := input(*bStr, *bFile)
 	var ops stats.Ops
-	p := core.Params{X: *x, Eps: *eps, Seed: *seed}
+	p := core.Params{X: *x, Eps: *eps, Seed: *seed, Faults: faultPlan(), MaxRetries: *maxRetries}
+	if p.Faults != nil {
+		switch *algo {
+		case "mpc", "hss", "ulam-mpc":
+			fmt.Fprintf(os.Stderr, "mpcdist: fault injection active: %s\n", p.Faults)
+		default:
+			die("-fault-* flags require an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
+		}
+	}
 	if *traceOut != "" {
 		switch *algo {
 		case "mpc", "hss", "ulam-mpc":

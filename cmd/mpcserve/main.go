@@ -14,13 +14,26 @@
 //	GET  /v1/algorithms  supported algorithms
 //	GET  /metrics        Prometheus text exposition (?format=json for JSON)
 //	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining or overloaded)
 //
 // With -ops a second listener serves /debug/pprof/ and /metrics for
 // operators only. Requests are logged as structured lines (text by
 // default, -log json for JSON) tagged with X-Request-Id.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// SIGTERM; /readyz flips to 503 as soon as draining starts so load
+// balancers stop routing here.
+//
+// Overload and robustness controls (on by default, 0 disables):
+//
+//	-degrade 1s      fall back to a sequential approximation when an
+//	                 exact query is about to miss its deadline
+//	                 (answers marked "degraded": true)
+//	-shed-queue 256  reject with 429 + Retry-After once this many
+//	                 requests queue for the worker pool
+//	-shed-wait 0     also shed after queueing this long (off by default)
+//	-fault-*         inject the deterministic fault schedule of
+//	                 internal/fault into MPC queries (testing/chaos)
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpcdist/internal/fault"
 	"mpcdist/internal/server"
 )
 
@@ -49,6 +63,12 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 	ops := flag.String("ops", "", "operator listen address for pprof + metrics (empty = off)")
 	logFormat := flag.String("log", "text", "request-log format: text, json, or off")
+	degrade := flag.Duration("degrade", time.Second, "deadline slice reserved for the sequential fallback (0 = no degradation)")
+	shedQueue := flag.Int("shed-queue", 256, "shed with 429 once this many requests queue for the pool (0 = off)")
+	shedWait := flag.Duration("shed-wait", 0, "shed with 429 after queueing this long for a pool slot (0 = off)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After value on 429 responses")
+	maxRetries := flag.Int("max-retries", 0, "MPC fault-recovery budget per machine-round/message (0 = default)")
+	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -70,7 +90,16 @@ func main() {
 		MaxInputLen:    *maxInput,
 		MaxBatch:       *maxBatch,
 		Logger:         logger,
+		DegradeReserve: *degrade,
+		ShedQueue:      *shedQueue,
+		ShedWait:       *shedWait,
+		RetryAfter:     *retryAfter,
+		Faults:         faultPlan(),
+		MaxRetries:     *maxRetries,
 	})
+	if p := faultPlan(); p != nil {
+		log.Printf("mpcserve: fault injection active: %s", p)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -106,6 +135,7 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	srv.SetDraining(true) // /readyz now reports 503 so traffic stops routing here
 	log.Printf("mpcserve: shutting down (draining up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -116,6 +146,6 @@ func main() {
 		_ = opsSrv.Shutdown(shutdownCtx)
 	}
 	snap := srv.Metrics().Snapshot()
-	fmt.Printf("mpcserve: served %d requests (%d errors, %d timeouts, %d batches)\n",
-		snap.Requests, snap.Errors, snap.Timeouts, snap.Batches)
+	fmt.Printf("mpcserve: served %d requests (%d errors, %d timeouts, %d batches, %d degraded, %d shed)\n",
+		snap.Requests, snap.Errors, snap.Timeouts, snap.Batches, snap.Degraded, snap.Shed)
 }

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"mpcdist/internal/core"
+	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
@@ -40,9 +41,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	small := flag.Bool("small", false, "use smaller sizes (faster)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all MPC rounds to this file")
+	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	base := core.Params{Eps: *eps, Seed: *seed}
+	base := core.Params{Eps: *eps, Seed: *seed, Faults: faultPlan(), MaxRetries: *maxRetries}
+	if base.Faults != nil {
+		fmt.Fprintf(os.Stderr, "mpctable: fault injection active: %s (model counters are unaffected; recovery is exact)\n", base.Faults)
+	}
 	var chrome *trace.Chrome
 	if *traceOut != "" {
 		chrome = trace.NewChrome()

@@ -137,6 +137,8 @@ func aggregateReports(reps []mpc.Report) mpc.Report {
 		if r.MaxStraggler > out.MaxStraggler {
 			out.MaxStraggler = r.MaxStraggler
 		}
+		out.Failures += r.Failures
+		out.Retries += r.Retries
 		out.Rounds = append(out.Rounds, r.Rounds...)
 	}
 	return out

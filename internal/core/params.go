@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"mpcdist/internal/chain"
+	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/trace"
 )
@@ -48,6 +49,14 @@ type Params struct {
 	// Solver selects the block/candidate pair kernel for the edit-distance
 	// small regime (see PairSolver).
 	Solver PairSolver
+	// Faults, when non-nil and active, injects the plan's deterministic
+	// fault schedule into every cluster round (crashes recovered by exact
+	// replay, message loss/duplication recovered in the shuffle, straggler
+	// delays); see internal/fault. Nil means fault-free.
+	Faults *fault.Plan
+	// MaxRetries is the per-machine-round / per-message recovery budget
+	// (0 = mpc.DefaultMaxRetries).
+	MaxRetries int
 }
 
 // PairSolver selects the per-pair edit-distance kernel used by the
@@ -126,6 +135,8 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		Seed:         p.Seed,
 		Ctx:          p.Ctx,
 		Observer:     p.Observer,
+		Faults:       p.Faults,
+		MaxRetries:   p.MaxRetries,
 	})
 }
 

@@ -1,0 +1,204 @@
+// Package fault is the deterministic fault-injection layer of the MPC
+// simulator. Real MPC platforms (MapReduce, Hadoop, Spark) treat machine
+// failures and stragglers as the normal case; the paper's algorithms are
+// robust to them precisely because every machine's round is a pure
+// function of (seed, round, machine, inputs) — the "common seed" device of
+// Algorithm 6 makes replay exact. This package supplies the failures; the
+// recovery lives in internal/mpc.
+//
+// A Plan is a fault schedule: given a schedule seed and per-event rates,
+// it decides crashes, message loss/duplication, and straggler delays as
+// pure functions of their coordinates (round, machine/sender, attempt,
+// sequence) via SplitMix64 mixing — the same mixing the simulator uses for
+// its random streams. Two runs with the same Plan see byte-identical fault
+// schedules regardless of goroutine scheduling, so any failure a chaos run
+// uncovers replays from its seed alone.
+package fault
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Plan is a deterministic fault schedule. The zero value (and a nil *Plan)
+// injects nothing; rates are probabilities in [0, 1] evaluated
+// independently per coordinate tuple.
+type Plan struct {
+	// Seed derives every decision; two plans with equal fields produce
+	// identical schedules.
+	Seed int64
+	// Crash is the probability a machine crashes before executing a round
+	// attempt (its work is lost before it starts).
+	Crash float64
+	// CrashAfter is the probability a machine crashes after executing but
+	// before its output ships (the attempt's messages are lost).
+	CrashAfter float64
+	// Drop is the probability one message transmission is lost in the
+	// shuffle (per delivery attempt; the simulator retransmits).
+	Drop float64
+	// Dup is the probability a delivered message arrives twice (the
+	// receiver deduplicates by message ID).
+	Dup float64
+	// Straggle is the probability a machine's execution is delayed by
+	// Delay this attempt.
+	Straggle float64
+	// Delay is the injected straggler delay (0 = 2ms).
+	Delay time.Duration
+}
+
+// Decision-kind salts keep the independent decision streams disjoint even
+// at coinciding (seed, round, machine) coordinates.
+const (
+	kindCrash      uint64 = 0x6372617368000000 // "crash\0\0\0"
+	kindCrashAfter uint64 = 0x61667465722d6372 // "after-cr"
+	kindDrop       uint64 = 0x64726f7000000000 // "drop\0\0\0\0"
+	kindDup        uint64 = 0x6475700000000000 // "dup\0\0\0\0\0"
+	kindStraggle   uint64 = 0x7374726167676c65 // "straggle"
+)
+
+// mix64 is the SplitMix64 finalizer — the same mixer internal/mpc uses for
+// stream-seed derivation, duplicated here so mpc can depend on fault
+// without a cycle.
+func mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// decide evaluates one Bernoulli decision at the given coordinates. The
+// 53-bit mantissa conversion matches rand.Float64's resolution.
+func (p *Plan) decide(kind uint64, rate float64, a, b, c int) bool {
+	if p == nil || rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := mix64(uint64(p.Seed) ^ kind)
+	h = mix64(h ^ uint64(a))
+	h = mix64(h ^ uint64(b))
+	h = mix64(h ^ uint64(c))
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// Active reports whether the plan can inject anything. A nil plan is
+// inactive; the simulator's fast path is taken exactly when Active is
+// false, so a fault-free run has zero behavioral drift.
+func (p *Plan) Active() bool {
+	return p != nil && (p.Crash > 0 || p.CrashAfter > 0 || p.Drop > 0 || p.Dup > 0 || p.Straggle > 0)
+}
+
+// CrashBefore reports whether the machine crashes before executing the
+// given attempt of the round.
+func (p *Plan) CrashBefore(round, machine, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	return p.decide(kindCrash, p.Crash, round, machine, attempt)
+}
+
+// CrashAfterExec reports whether the machine crashes after executing the
+// attempt but before its output ships.
+func (p *Plan) CrashAfterExec(round, machine, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	return p.decide(kindCrashAfter, p.CrashAfter, round, machine, attempt)
+}
+
+// DropMsg reports whether transmission attempt `attempt` of the sender's
+// seq-th message of the round is lost.
+func (p *Plan) DropMsg(round, from, seq, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	// Fold seq and attempt into one coordinate with disjoint mixing.
+	h := int(mix64(uint64(seq)<<20 ^ uint64(attempt)))
+	return p.decide(kindDrop, p.Drop, round, from, h)
+}
+
+// DupMsg reports whether a successfully delivered transmission is
+// duplicated in flight.
+func (p *Plan) DupMsg(round, from, seq, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	h := int(mix64(uint64(seq)<<20 ^ uint64(attempt)))
+	return p.decide(kindDup, p.Dup, round, from, h)
+}
+
+// StraggleDelay returns the injected execution delay for the attempt, 0
+// for none.
+func (p *Plan) StraggleDelay(round, machine, attempt int) time.Duration {
+	if p == nil || !p.decide(kindStraggle, p.Straggle, round, machine, attempt) {
+		return 0
+	}
+	if p.Delay > 0 {
+		return p.Delay
+	}
+	return 2 * time.Millisecond
+}
+
+// String renders the schedule parameters; two plans with equal strings
+// inject identical schedules.
+func (p *Plan) String() string {
+	if p == nil {
+		return "fault.Plan(nil)"
+	}
+	return fmt.Sprintf("fault.Plan{seed=%d crash=%g crashAfter=%g drop=%g dup=%g straggle=%g delay=%s}",
+		p.Seed, p.Crash, p.CrashAfter, p.Drop, p.Dup, p.Straggle, p.Delay)
+}
+
+// CrashError reports a machine whose round could not complete within the
+// retry budget: every attempt up to MaxRetries crashed.
+type CrashError struct {
+	Round    int    // zero-based round index
+	Name     string // round name
+	Machine  int
+	Attempts int // attempts made (initial execution + retries)
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: machine %d crashed on all %d attempts of round %d (%q); retry budget exhausted",
+		e.Machine, e.Attempts, e.Round, e.Name)
+}
+
+// DropError reports a message that could not be delivered within the
+// retry budget: every transmission attempt was dropped.
+type DropError struct {
+	Round    int
+	Name     string
+	From, To int
+	Seq      int // the sender's message sequence number within the round
+	Attempts int
+}
+
+func (e *DropError) Error() string {
+	return fmt.Sprintf("fault: message %d->%d (seq %d) dropped on all %d attempts of round %d (%q); retry budget exhausted",
+		e.From, e.To, e.Seq, e.Attempts, e.Round, e.Name)
+}
+
+// BindFlags registers the standard fault-injection flags on fs (the shared
+// vocabulary of mpcdist, mpctable, mpcbench, and mpcserve) and returns a
+// closure that assembles the Plan after fs.Parse. The closure returns nil
+// when every rate is zero, preserving the simulator's fault-free fast
+// path.
+func BindFlags(fs *flag.FlagSet) func() *Plan {
+	seed := fs.Int64("fault-seed", 1, "fault-schedule seed (schedules are deterministic and replayable)")
+	crash := fs.Float64("fault-crash", 0, "probability a machine crashes before executing a round attempt")
+	crashAfter := fs.Float64("fault-crash-after", 0, "probability a machine crashes after executing, losing its output")
+	drop := fs.Float64("fault-drop", 0, "probability a message transmission is lost in the shuffle")
+	dup := fs.Float64("fault-dup", 0, "probability a delivered message is duplicated in flight")
+	straggle := fs.Float64("fault-straggle", 0, "probability a machine execution is delayed")
+	delay := fs.Duration("fault-delay", 2*time.Millisecond, "injected straggler delay")
+	return func() *Plan {
+		p := &Plan{Seed: *seed, Crash: *crash, CrashAfter: *crashAfter,
+			Drop: *drop, Dup: *dup, Straggle: *straggle, Delay: *delay}
+		if !p.Active() {
+			return nil
+		}
+		return p
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
+	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/workload"
 )
@@ -24,6 +25,14 @@ type BenchConfig struct {
 	Sizes []int // problem sizes; zero means {192, 384}
 	Seed  int64
 	Eps   float64 // zero means 0.5
+	// Faults injects a deterministic fault schedule into every case's
+	// cluster (nil = fault-free). With faults active the deterministic
+	// counters must still match a fault-free baseline — recovery is
+	// invisible to the model counters — while failures/retries record the
+	// recovery overhead.
+	Faults *fault.Plan
+	// MaxRetries is the recovery budget (0 = mpc.DefaultMaxRetries).
+	MaxRetries int
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -49,20 +58,25 @@ type BenchPhase struct {
 // BenchResult is one (algorithm, workload, size) cell. Every field except
 // ElapsedMs is deterministic given the config.
 type BenchResult struct {
-	Name        string       `json:"name"` // "algo/workload/n=N"
-	Algo        string       `json:"algo"`
-	Workload    string       `json:"workload"`
-	N           int          `json:"n"`
-	X           float64      `json:"x"`
-	Value       int          `json:"value"`
-	Rounds      int          `json:"rounds"`
-	Machines    int          `json:"machines"`
-	MaxWords    int          `json:"maxWords"`
-	TotalOps    int64        `json:"totalOps"`
-	CriticalOps int64        `json:"criticalOps"`
-	CommWords   int64        `json:"commWords"`
-	Phases      []BenchPhase `json:"phases"`
-	ElapsedMs   float64      `json:"elapsedMs"` // wall time; compared with tolerance only
+	Name        string  `json:"name"` // "algo/workload/n=N"
+	Algo        string  `json:"algo"`
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	X           float64 `json:"x"`
+	Value       int     `json:"value"`
+	Rounds      int     `json:"rounds"`
+	Machines    int     `json:"machines"`
+	MaxWords    int     `json:"maxWords"`
+	TotalOps    int64   `json:"totalOps"`
+	CriticalOps int64   `json:"criticalOps"`
+	CommWords   int64   `json:"commWords"`
+	// Failures/Retries are the cluster's fault-injection and recovery
+	// counters — exactly zero on a fault-free run, so any drift here is a
+	// recovery-overhead regression CompareBench flags.
+	Failures  int          `json:"failures"`
+	Retries   int          `json:"retries"`
+	Phases    []BenchPhase `json:"phases"`
+	ElapsedMs float64      `json:"elapsedMs"` // wall time; compared with tolerance only
 }
 
 // BenchFile is the BENCH_<stamp>.json schema.
@@ -199,7 +213,8 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 	}
 	for _, bc := range benchCases(cfg.Seed) {
 		for _, n := range cfg.Sizes {
-			p := core.Params{X: bc.x, Eps: cfg.Eps, Seed: cfg.Seed}
+			p := core.Params{X: bc.x, Eps: cfg.Eps, Seed: cfg.Seed,
+				Faults: cfg.Faults, MaxRetries: cfg.MaxRetries}
 			start := time.Now()
 			res, err := bc.run(n, p)
 			if err != nil {
@@ -217,6 +232,8 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				TotalOps:    res.Report.TotalOps,
 				CriticalOps: res.Report.CriticalOps,
 				CommWords:   res.Report.CommWords,
+				Failures:    res.Report.Failures,
+				Retries:     res.Report.Retries,
 				Phases:      benchPhases(res.Report),
 				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
 			})
@@ -260,6 +277,8 @@ func CompareBench(old, cur BenchFile, wallTol float64) (diffs, warnings []string
 		check("totalOps", or.TotalOps, nr.TotalOps)
 		check("criticalOps", or.CriticalOps, nr.CriticalOps)
 		check("commWords", or.CommWords, nr.CommWords)
+		check("failures", int64(or.Failures), int64(nr.Failures))
+		check("retries", int64(or.Retries), int64(nr.Retries))
 		check("phases", int64(len(or.Phases)), int64(len(nr.Phases)))
 		if len(or.Phases) == len(nr.Phases) {
 			for i := range nr.Phases {

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"mpcdist/internal/fault"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
 )
@@ -61,15 +62,34 @@ type Config struct {
 	// Seed feeds both the shared and the per-machine random streams.
 	Seed int64
 	// Ctx, when non-nil, cancels the simulation: Run checks it before the
-	// round starts and before each machine executes, so a timed-out or
-	// abandoned request stops within one machine's work rather than
-	// running the remaining rounds to completion.
+	// round starts, before each machine executes, and before each replay
+	// attempt, so a timed-out or abandoned request stops within one
+	// machine's work (or one retry) rather than running the remaining
+	// rounds to completion.
 	Ctx context.Context
 	// Observer, when non-nil, receives round and machine execution events
 	// (see internal/trace). Observers must be safe for concurrent use;
 	// a nil Observer costs one nil check per event site.
 	Observer trace.Observer
+	// Faults, when non-nil and active, injects the plan's deterministic
+	// fault schedule into every round: machine crashes (recovered by exact
+	// replay — machine execution is a pure function of (seed, round,
+	// machine, inputs)), message loss/duplication in the shuffle
+	// (recovered by retransmission + receiver-side dedup on per-(round,
+	// sender, sequence) message IDs), and straggler delays. A nil or
+	// inactive plan takes the fault-free fast path with zero behavioral
+	// drift.
+	Faults *fault.Plan
+	// MaxRetries bounds recovery per machine-round and per message: after
+	// the initial attempt, up to MaxRetries replays/retransmissions are
+	// made before Run fails with *fault.CrashError or *fault.DropError.
+	// Zero means DefaultMaxRetries.
+	MaxRetries int
 }
+
+// DefaultMaxRetries is the recovery budget used when Config.MaxRetries is
+// zero.
+const DefaultMaxRetries = 3
 
 // RoundStats records the measured model quantities of one round.
 type RoundStats struct {
@@ -92,6 +112,15 @@ type RoundStats struct {
 	// Skew summarizes the per-machine execution-time distribution:
 	// max/mean/p99 and the straggler ratio max/mean.
 	Skew trace.SkewStats
+	// Failures counts faults injected during the round (crashes, message
+	// drops/duplications, straggler delays); Retries counts the recovery
+	// actions taken (machine replays, message retransmissions). Both are 0
+	// without an active fault plan. Faults never perturb the deterministic
+	// counters above: only the successful attempt's ops and logical shuffle
+	// volume are counted, so a recovered run's stats are bit-identical to
+	// the fault-free run's.
+	Failures int
+	Retries  int
 }
 
 // Report aggregates a cluster's history in the shape of a Table 1 row.
@@ -110,6 +139,10 @@ type Report struct {
 	// MaxStraggler is the worst per-round straggler ratio (max/mean
 	// machine time); 0 when no round recorded machine times.
 	MaxStraggler float64
+	// Failures and Retries sum the rounds' fault and recovery counters;
+	// both 0 on a fault-free cluster.
+	Failures int
+	Retries  int
 }
 
 // String renders the report as a summary line followed by one line per
@@ -118,6 +151,9 @@ func (r Report) String() string {
 	s := fmt.Sprintf("rounds=%d machines=%d mem/machine=%d totalOps=%d criticalOps=%d comm=%d elapsed=%s",
 		r.NumRounds, r.MaxMachines, r.MaxWords, r.TotalOps, r.CriticalOps, r.CommWords,
 		r.Elapsed.Round(time.Microsecond))
+	if r.Failures > 0 || r.Retries > 0 {
+		s += fmt.Sprintf(" failures=%d retries=%d", r.Failures, r.Retries)
+	}
 	for _, ps := range Profile(r).Phases {
 		s += "\n  " + ps.String()
 	}
@@ -165,6 +201,8 @@ func (c *Cluster) Report() Report {
 		if r.Skew.Straggler > rep.MaxStraggler {
 			rep.MaxStraggler = r.Skew.Straggler
 		}
+		rep.Failures += r.Failures
+		rep.Retries += r.Retries
 	}
 	return rep
 }
@@ -337,6 +375,16 @@ func (x *Ctx) span(name string) trace.MachineSpan {
 // It enforces the per-machine memory cap on inputs and outputs and the
 // machine-count cap, returning a *MemoryError on violation.
 //
+// With an active Config.Faults plan, injected crashes are recovered by
+// replaying the machine (up to Config.MaxRetries extra attempts; replay is
+// exact because execution is a pure function of (seed, round, machine,
+// inputs)) and injected message drops/duplications are recovered by
+// retransmission plus receiver-side dedup on (round, sender, sequence)
+// message IDs. Exhausting the budget returns *fault.CrashError or
+// *fault.DropError. Recovery never perturbs the deterministic counters:
+// the returned inputs and the round's TotalOps/CommWords are bit-identical
+// to a fault-free run.
+//
 // phase names the paper phase the round implements; it is validated before
 // anything else happens, so a round can never reach the Observer — or the
 // round history — without a valid phase label.
@@ -390,35 +438,122 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		}
 	}
 
+	plan := c.cfg.Faults
+	active := plan.Active()
+	maxRetries := c.cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+
 	ctxs := make([]*Ctx, len(ids))
+	// Per-machine fault bookkeeping, written by the machine's goroutine and
+	// read after wg.Wait (the Wait establishes the happens-before edge).
+	crashed := make([]*fault.CrashError, len(ids))
+	machFails := make([]int, len(ids))
+	machRetries := make([]int, len(ids))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.cfg.Parallelism)
 	for k, id := range ids {
 		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: inWords[k]}
 		wg.Add(1)
-		go func(x *Ctx, in []Payload) {
+		go func(k, id int, in []Payload) {
 			defer wg.Done()
 			spawned := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if ctx.Err() != nil {
+			var queueWait time.Duration
+			for attempt := 0; ; attempt++ {
+				// Cancellation is re-checked per attempt so a context
+				// arriving mid-replay stops within one retry.
+				if ctx.Err() != nil {
+					return
+				}
+				// A fresh Ctx per attempt: replay is exact because the
+				// machine's random streams and inputs depend only on
+				// (seed, round, machine), never on the attempt.
+				x := &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: inWords[k]}
+				ctxs[k] = x
+				if active && plan.CrashBefore(round, id, attempt) {
+					machFails[k]++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: id,
+							Kind: trace.FaultCrashBefore, Attempt: attempt, Seq: -1, To: -1, At: time.Now()})
+					}
+					if attempt >= maxRetries {
+						crashed[k] = &fault.CrashError{Round: round, Name: name, Machine: id, Attempts: attempt + 1}
+						return
+					}
+					machRetries[k]++
+					if obs != nil {
+						obs.Retry(trace.RetryEvent{Round: round, Name: name, Phase: phase, Machine: id,
+							Kind: trace.FaultCrashBefore, Attempt: attempt + 1, Seq: -1, At: time.Now()})
+					}
+					continue
+				}
+				// The round clock starts here — after slot acquisition — so
+				// Elapsed measures machine execution, not semaphore queueing.
+				x.start = time.Now()
+				if attempt == 0 {
+					queueWait = x.start.Sub(spawned)
+				}
+				x.queueWait = queueWait
+				if obs != nil {
+					obs.MachineStart(x.Round, x.Machine, x.inWords)
+				}
+				if active {
+					if d := plan.StraggleDelay(round, id, attempt); d > 0 {
+						machFails[k]++
+						if obs != nil {
+							obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: id,
+								Kind: trace.FaultStraggle, Attempt: attempt, Seq: -1, To: -1, At: time.Now()})
+						}
+						// The injected delay happens inside the span, so it
+						// shows up in Elapsed and the skew stats; it aborts
+						// early on cancellation.
+						select {
+						case <-ctx.Done():
+							x.end = time.Now()
+							if obs != nil {
+								obs.MachineEnd(x.span(name))
+							}
+							return
+						case <-time.After(d):
+						}
+					}
+				}
+				fn(x, in)
+				x.end = time.Now()
+				if obs != nil {
+					obs.MachineEnd(x.span(name))
+				}
+				if active && plan.CrashAfterExec(round, id, attempt) {
+					// The machine's output is lost before shipping; replay.
+					machFails[k]++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: id,
+							Kind: trace.FaultCrashAfter, Attempt: attempt, Seq: -1, To: -1, At: time.Now()})
+					}
+					if attempt >= maxRetries {
+						crashed[k] = &fault.CrashError{Round: round, Name: name, Machine: id, Attempts: attempt + 1}
+						return
+					}
+					machRetries[k]++
+					if obs != nil {
+						obs.Retry(trace.RetryEvent{Round: round, Name: name, Phase: phase, Machine: id,
+							Kind: trace.FaultCrashAfter, Attempt: attempt + 1, Seq: -1, At: time.Now()})
+					}
+					continue
+				}
 				return
 			}
-			// The round clock starts here — after slot acquisition — so
-			// Elapsed measures machine execution, not semaphore queueing.
-			x.start = time.Now()
-			x.queueWait = x.start.Sub(spawned)
-			if x.obs != nil {
-				x.obs.MachineStart(x.Round, x.Machine, x.inWords)
-			}
-			fn(x, in)
-			x.end = time.Now()
-			if x.obs != nil {
-				x.obs.MachineEnd(x.span(name))
-			}
-		}(ctxs[k], inputs[id])
+		}(k, id, inputs[id])
 	}
 	wg.Wait()
+
+	for k := range ids {
+		st.Failures += machFails[k]
+		st.Retries += machRetries[k]
+	}
 
 	// Execution window and skew over the machines that actually ran.
 	var first, last time.Time
@@ -444,6 +579,39 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	if err := ctx.Err(); err != nil {
 		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
 	}
+	for _, ce := range crashed {
+		if ce != nil {
+			// Retry budget exhausted on a machine: the round cannot
+			// complete. crashed is scanned in machine-id order, so the
+			// reported machine is deterministic.
+			return nil, fail(ce)
+		}
+	}
+
+	// Message IDs are (round, sender, sequence); with an active fault plan
+	// the shuffle retransmits dropped messages and the receiver collapses
+	// duplicates (and redundant retransmissions) by ID, keeping the first
+	// copy. Senders are walked in sorted-id order and outboxes in sequence
+	// order, so delivery order — and therefore every downstream machine's
+	// input — is bit-identical to the fault-free path.
+	type msgID struct{ from, seq int }
+	var seen map[int]map[msgID]bool
+	if active {
+		seen = make(map[int]map[msgID]bool)
+	}
+	deliver := func(next map[int][]Payload, to, from, seq int, data Payload) {
+		id := msgID{from, seq}
+		dst := seen[to]
+		if dst == nil {
+			dst = make(map[msgID]bool)
+			seen[to] = dst
+		}
+		if dst[id] {
+			return // duplicate detected by message ID
+		}
+		dst[id] = true
+		next[to] = append(next[to], data)
+	}
 
 	next := make(map[int][]Payload)
 	var firstErr error
@@ -457,6 +625,9 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		for _, m := range x.out {
 			w += m.Data.Words()
 		}
+		// CommWords is the logical shuffle volume — retransmissions and
+		// duplicates are host-level recovery, not model communication — so
+		// the deterministic counters match the fault-free run exactly.
 		st.CommWords += int64(w)
 		if w > st.MaxOutWords {
 			st.MaxOutWords = w
@@ -464,8 +635,51 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords && firstErr == nil {
 			firstErr = &MemoryError{Round: name, Machine: x.Machine, Words: w, Limit: c.cfg.MachineWords, Kind: "output"}
 		}
-		for _, m := range x.out {
-			next[m.To] = append(next[m.To], m.Data)
+		if !active {
+			for _, m := range x.out {
+				next[m.To] = append(next[m.To], m.Data)
+			}
+			continue
+		}
+		for seq, m := range x.out {
+			delivered := false
+			for attempt := 0; ; attempt++ {
+				if plan.DropMsg(round, x.Machine, seq, attempt) {
+					st.Failures++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
+							Kind: trace.FaultMsgDrop, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
+					}
+					if attempt >= maxRetries {
+						if firstErr == nil {
+							firstErr = &fault.DropError{Round: round, Name: name,
+								From: x.Machine, To: m.To, Seq: seq, Attempts: attempt + 1}
+						}
+						break
+					}
+					st.Retries++
+					if obs != nil {
+						obs.Retry(trace.RetryEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
+							Kind: trace.FaultMsgDrop, Attempt: attempt + 1, Seq: seq, At: time.Now()})
+					}
+					continue
+				}
+				delivered = true
+				if plan.DupMsg(round, x.Machine, seq, attempt) {
+					st.Failures++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
+							Kind: trace.FaultMsgDup, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
+					}
+					// The duplicate goes through the same delivery path and
+					// is caught by the receiver's ID dedup.
+					deliver(next, m.To, x.Machine, seq, m.Data)
+				}
+				break
+			}
+			if delivered {
+				deliver(next, m.To, x.Machine, seq, m.Data)
+			}
 		}
 	}
 	c.rounds = append(c.rounds, st)
@@ -494,6 +708,8 @@ func summary(round int, st *RoundStats) trace.RoundSummary {
 		QueueWait: st.QueueWait,
 		TotalOps:  st.TotalOps,
 		CommWords: st.CommWords,
+		Failures:  st.Failures,
+		Retries:   st.Retries,
 		Skew:      st.Skew,
 	}
 }

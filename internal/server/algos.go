@@ -31,6 +31,11 @@ type algoSpec struct {
 	// mirrors core's validation.
 	MaxX float64
 	run  func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error)
+	// degrade, when set, is the sequential fallback the degradation ladder
+	// runs if the exact kernel exhausts its (reserve-reduced) deadline: a
+	// cheap kernel answering the same question approximately (or exactly
+	// but sequentially). The caller marks the result Degraded.
+	degrade func(q Query, p mpcdist.MPCParams) (Answer, error)
 }
 
 const (
@@ -48,8 +53,31 @@ func mpcAnswer(algo string, res mpcdist.MPCResult) Answer {
 		Distance: res.Value,
 		Regime:   res.Regime,
 		Guess:    res.Guess,
+		Retries:  res.Report.Retries,
 		Report:   reportJSON(res.Report),
 	}
+}
+
+// Sequential fallbacks for the degradation ladder. Each answers the MPC
+// algorithm's question without the cluster: exact for Ulam/LCS (the
+// sequential kernels are fast), the seeded approximation for edit
+// distance.
+func degradeUlam(q Query, _ mpcdist.MPCParams) (Answer, error) {
+	d, err := mpcdist.UlamDistanceE(q.ASeq, q.BSeq)
+	if err != nil {
+		return Answer{}, badRequestError{msg: err.Error()}
+	}
+	return seqAnswer("ulam-mpc", "", d), nil
+}
+
+func degradeEdit(algo string) func(q Query, p mpcdist.MPCParams) (Answer, error) {
+	return func(q Query, p mpcdist.MPCParams) (Answer, error) {
+		return seqAnswer(algo, "", mpcdist.ApproxEditDistance([]byte(q.A), []byte(q.B), p.Eps, p.Seed, nil)), nil
+	}
+}
+
+func degradeLCS(q Query, _ mpcdist.MPCParams) (Answer, error) {
+	return seqAnswer("lcs-mpc", "", mpcdist.LCSLength([]byte(q.A), []byte(q.B), nil)), nil
 }
 
 // algos is the kernel registry: every supported value of Query.Algo.
@@ -103,21 +131,21 @@ var algos = map[string]algoSpec{
 		a.Window = &WindowJSON{Gamma: win.Gamma, Kappa: win.Kappa}
 		return a, nil
 	}},
-	"ulam-mpc": {Ints: true, MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"ulam-mpc": {Ints: true, MPC: true, MaxX: maxXHalf, degrade: degradeUlam, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		res, err := mpcdist.UlamDistanceMPCCtx(ctx, q.ASeq, q.BSeq, p)
 		if err != nil {
 			return Answer{}, err
 		}
 		return mpcAnswer("ulam-mpc", res), nil
 	}},
-	"edit-mpc": {MPC: true, MaxX: maxXEdit, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"edit-mpc": {MPC: true, MaxX: maxXEdit, degrade: degradeEdit("edit-mpc"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		res, err := mpcdist.EditDistanceMPCCtx(ctx, []byte(q.A), []byte(q.B), p)
 		if err != nil {
 			return Answer{}, err
 		}
 		return mpcAnswer("edit-mpc", res), nil
 	}},
-	"edit-hss": {MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"edit-hss": {MPC: true, MaxX: maxXHalf, degrade: degradeEdit("edit-hss"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		p.Ctx = ctx
 		res, err := mpcdist.EditDistanceHSS([]byte(q.A), []byte(q.B), p)
 		if err != nil {
@@ -125,7 +153,7 @@ var algos = map[string]algoSpec{
 		}
 		return mpcAnswer("edit-hss", res), nil
 	}},
-	"lcs-mpc": {MPC: true, MaxX: maxXHalf, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"lcs-mpc": {MPC: true, MaxX: maxXHalf, degrade: degradeLCS, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		p.Ctx = ctx
 		res, err := mpcdist.LCSMPC([]byte(q.A), []byte(q.B), p)
 		if err != nil {

@@ -56,6 +56,10 @@ type AlgoStats struct {
 	TotalOps      int64  `json:"totalOps,omitempty"`
 	TotalComm     int64  `json:"totalCommWords,omitempty"`
 	TotalCritical int64  `json:"totalCriticalOps,omitempty"`
+	// TotalFailures/TotalRetries sum the clusters' fault and recovery
+	// counters over computed runs (0 without fault injection).
+	TotalFailures int64 `json:"totalFailures,omitempty"`
+	TotalRetries  int64 `json:"totalRetries,omitempty"`
 	// Phases attributes the MPC aggregates to paper phases, keyed by
 	// phase name (candidates / graph / chain).
 	Phases map[string]*PhaseAgg `json:"phases,omitempty"`
@@ -82,6 +86,8 @@ type Metrics struct {
 	badInput uint64
 	timeouts uint64
 	batches  uint64
+	degraded uint64
+	shed     uint64
 	perAlgo  map[string]*AlgoStats
 }
 
@@ -128,6 +134,8 @@ func (m *Metrics) Observe(algo string, elapsed time.Duration, cached bool, faile
 		st.TotalOps += rep.TotalOps
 		st.TotalComm += rep.CommWords
 		st.TotalCritical += rep.CriticalOps
+		st.TotalFailures += int64(rep.Failures)
+		st.TotalRetries += int64(rep.Retries)
 		for _, ph := range rep.Phases {
 			if st.Phases == nil {
 				st.Phases = make(map[string]*PhaseAgg)
@@ -166,6 +174,22 @@ func (m *Metrics) ObserveTimeout() {
 	m.mu.Unlock()
 }
 
+// ObserveDegraded counts a query answered by the sequential fallback
+// after the exact kernel exhausted its reserve-reduced deadline.
+func (m *Metrics) ObserveDegraded() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
+// ObserveShed counts a request rejected with 429 by the load shedder
+// (queue-length threshold or queue-wait budget).
+func (m *Metrics) ObserveShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
 // ObserveBatch counts one batch request of the given size.
 func (m *Metrics) ObserveBatch() {
 	m.mu.Lock()
@@ -189,6 +213,8 @@ type Snapshot struct {
 	BadInput       uint64                `json:"badInput"`
 	Timeouts       uint64                `json:"timeouts"`
 	Batches        uint64                `json:"batches"`
+	Degraded       uint64                `json:"degraded"`
+	Shed           uint64                `json:"shed"`
 	LatencyBuckets []float64             `json:"latencyBucketsMs"`
 	Algorithms     map[string]*AlgoStats `json:"algorithms"`
 	Cache          CacheStats            `json:"cache"`
@@ -221,6 +247,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		BadInput:       m.badInput,
 		Timeouts:       m.timeouts,
 		Batches:        m.batches,
+		Degraded:       m.degraded,
+		Shed:           m.shed,
 		LatencyBuckets: append([]float64(nil), latencyBuckets...),
 		Algorithms:     algs,
 	}

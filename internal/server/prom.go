@@ -81,6 +81,8 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		{"mpcserve_bad_input_total", "Requests rejected before dispatch (4xx).", snap.BadInput},
 		{"mpcserve_timeouts_total", "Queries aborted by deadline or disconnect.", snap.Timeouts},
 		{"mpcserve_batches_total", "Batch requests received.", snap.Batches},
+		{"mpcserve_degraded_total", "Queries answered by the sequential fallback under deadline pressure.", snap.Degraded},
+		{"mpcserve_shed_total", "Requests shed with 429 by the overload controls.", snap.Shed},
 	}
 	for _, c := range counters {
 		p.header(c.name, c.help, "counter")
@@ -134,6 +136,8 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		{"mpcserve_mpc_total_ops_total", "Total simulated operations.", func(a *AlgoStats) float64 { return float64(a.TotalOps) }},
 		{"mpcserve_mpc_comm_words_total", "Total simulated communication volume (words).", func(a *AlgoStats) float64 { return float64(a.TotalComm) }},
 		{"mpcserve_mpc_critical_ops_total", "Total critical-path operations.", func(a *AlgoStats) float64 { return float64(a.TotalCritical) }},
+		{"mpcserve_mpc_failures_total", "Injected faults observed across simulations.", func(a *AlgoStats) float64 { return float64(a.TotalFailures) }},
+		{"mpcserve_mpc_retries_total", "Fault-recovery actions (replays, retransmissions) across simulations.", func(a *AlgoStats) float64 { return float64(a.TotalRetries) }},
 	}
 	for _, c := range mpcCounters {
 		p.header(c.name, c.help, "counter")
@@ -229,6 +233,8 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	p.value("mpcserve_pool_waiting", "", float64(snap.Pool.Waiting))
 	p.header("mpcserve_pool_completed_total", "Pool executions completed.", "counter")
 	p.value("mpcserve_pool_completed_total", "", float64(snap.Pool.Completed))
+	p.header("mpcserve_pool_shed_total", "Pool acquisitions abandoned past the queue-wait budget.", "counter")
+	p.value("mpcserve_pool_shed_total", "", float64(snap.Pool.Shed))
 
 	p.header("mpcserve_cache_capacity", "LRU cache capacity in answers.", "gauge")
 	p.value("mpcserve_cache_capacity", "", float64(snap.Cache.Capacity))

@@ -13,7 +13,8 @@
 //	                     stats, per-algorithm MPC report aggregates —
 //	                     Prometheus text exposition (?format=json for the
 //	                     JSON snapshot)
-//	GET  /healthz        liveness
+//	GET  /healthz        liveness (the process is up)
+//	GET  /readyz         readiness (503 while draining or overloaded)
 //
 // OpsHandler serves pprof and a metrics copy for a separate operator
 // listener. Requests are tagged with X-Request-Id and logged through the
@@ -24,6 +25,12 @@
 // context (cancellation is checked between rounds), input sizes are
 // capped, handler panics are recovered to 500s, and repeated queries are
 // served from an LRU cache keyed on (algorithm, input hash, parameters).
+// Opt-in overload controls (Config.DegradeReserve / ShedQueue / ShedWait)
+// add a degradation ladder — deadline-pressed exact queries fall back to a
+// sequential approximation marked degraded:true, and saturated queues shed
+// requests with 429 + Retry-After — and Config.Faults injects the
+// deterministic fault schedule of internal/fault into MPC queries, whose
+// recovered retries surface in Answer.Retries.
 package server
 
 import (
@@ -34,9 +41,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"mpcdist"
+	"mpcdist/internal/fault"
 	"mpcdist/internal/trace"
 )
 
@@ -59,6 +69,37 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives structured request and query logs (nil = discard).
 	Logger *slog.Logger
+
+	// The remaining fields form the overload/degradation ladder; each is
+	// opt-in (zero = off) so existing deployments keep strict
+	// timeout-to-error behavior unless they ask for graceful degradation.
+
+	// DegradeReserve, when > 0, reserves that slice of the request
+	// deadline for a sequential fallback: the exact/MPC kernel runs
+	// against a deadline shortened by the reserve, and if it runs out
+	// while the request itself is still alive, the algorithm's degrade
+	// kernel produces the answer, marked degraded:true (never cached).
+	DegradeReserve time.Duration
+	// ShedQueue, when > 0, sheds a request with 429 before queueing if at
+	// least this many requests are already waiting for a pool slot. It is
+	// also the readiness threshold: /readyz reports 503 while the queue is
+	// at or past it.
+	ShedQueue int
+	// ShedWait, when > 0, bounds how long a request may wait for a pool
+	// slot before being shed with 429 (load turning into queueing delay
+	// rather than queue length).
+	ShedWait time.Duration
+	// RetryAfter is the value of the Retry-After header on 429 responses
+	// (0 = 1s).
+	RetryAfter time.Duration
+	// Faults, when non-nil and active, injects the deterministic fault
+	// schedule into every MPC query's cluster (see internal/fault); the
+	// recovered retries surface in Answer.Retries and the
+	// mpcserve_mpc_retries counters.
+	Faults *fault.Plan
+	// MaxRetries is the per-machine-round/per-message recovery budget for
+	// MPC queries (0 = mpc.DefaultMaxRetries).
+	MaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	return c
 }
 
@@ -91,6 +135,9 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	log     *slog.Logger
+	// draining flips when graceful shutdown starts: /readyz reports 503 so
+	// load balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // New returns a server with the given configuration.
@@ -109,6 +156,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -136,6 +184,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.As(err, &tl):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -143,6 +193,20 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeError renders an answer error; shed responses carry Retry-After so
+// well-behaved clients back off instead of hammering an overloaded server.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
 }
 
 // validate checks a query against the registry and limits, returning the
@@ -204,6 +268,10 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 		chrome = trace.NewChrome()
 		params.Observer = chrome
 	}
+	if spec.MPC {
+		params.Faults = s.cfg.Faults
+		params.MaxRetries = s.cfg.MaxRetries
+	}
 
 	key := q.CacheKey()
 	start := time.Now()
@@ -216,15 +284,27 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 		}
 	}
 
+	// Queue-length shed: past the threshold, more queueing only adds
+	// latency for everyone, so reject immediately with a Retry-After.
+	if s.cfg.ShedQueue > 0 && s.pool.Waiting() >= int64(s.cfg.ShedQueue) {
+		s.metrics.ObserveShed()
+		s.logQuery(ctx, q, nil, time.Since(start), ErrOverloaded)
+		return Answer{}, ErrOverloaded
+	}
+
 	var a Answer
 	var runErr error
-	poolErr := s.pool.Do(ctx, func() {
-		a, runErr = spec.run(ctx, q, params)
+	poolErr := s.pool.DoWithin(ctx, s.cfg.ShedWait, func() {
+		a, runErr = s.compute(ctx, spec, q, params, wantTrace)
 	})
 	elapsed := time.Since(start)
 	if poolErr != nil {
-		// Deadline or disconnect while queued: the kernel never ran.
-		s.metrics.ObserveTimeout()
+		// Deadline, disconnect, or shed while queued: the kernel never ran.
+		if errors.Is(poolErr, ErrOverloaded) {
+			s.metrics.ObserveShed()
+		} else {
+			s.metrics.ObserveTimeout()
+		}
 		s.logQuery(ctx, q, nil, elapsed, poolErr)
 		return Answer{}, poolErr
 	}
@@ -244,12 +324,50 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 			return Answer{}, jerr
 		}
 		a.Trace = raw
-	} else {
+	} else if !a.Degraded {
+		// A degraded answer is a deadline artifact, not the algorithm's
+		// real output; caching it would serve the approximation to
+		// unpressed future requests.
 		s.cache.Put(key, a)
 	}
 	s.metrics.Observe(q.Algo, elapsed, false, false, a.Report)
 	s.logQuery(ctx, q, &a, elapsed, nil)
 	return a, nil
+}
+
+// compute runs the kernel inside a pool slot, applying the degradation
+// ladder: with a DegradeReserve configured and a fallback available, the
+// exact kernel gets the request deadline minus the reserve; if it runs out
+// while the request itself is still alive, the sequential fallback answers
+// within the reserved slice, marked degraded.
+func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpcdist.MPCParams, wantTrace bool) (Answer, error) {
+	runCtx := ctx
+	canDegrade := spec.degrade != nil && s.cfg.DegradeReserve > 0 && !wantTrace
+	if canDegrade {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			canDegrade = false // no deadline pressure, nothing to reserve
+		} else if reduced := dl.Add(-s.cfg.DegradeReserve); reduced.After(time.Now()) {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithDeadline(ctx, reduced)
+			defer cancel()
+		}
+		// When the reserve swallows the whole remaining deadline, the
+		// exact kernel keeps runCtx == ctx (already nearly expired) and
+		// the fallback still fires below.
+	}
+	a, err := spec.run(runCtx, q, params)
+	if err != nil && canDegrade && ctx.Err() == nil &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		// The exact kernel ran out of its reduced deadline but the request
+		// is still alive: answer from the fallback within the reserve.
+		a, err = spec.degrade(q, params)
+		if err == nil {
+			a.Degraded = true
+			s.metrics.ObserveDegraded()
+		}
+	}
+	return a, err
 }
 
 // logQuery emits one structured line per resolved query, carrying the
@@ -281,7 +399,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	a, err := s.answer(ctx, q, r.URL.Query().Get("trace") == "1")
 	if err != nil {
-		writeJSON(w, statusFor(err), ErrorBody{Error: err.Error()})
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, a)
@@ -367,6 +485,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
+
+// handleReady is the readiness probe: liveness (/healthz) says the process
+// is up, readiness says it should receive traffic. Not ready while
+// draining (graceful shutdown) or while the pool queue is saturated past
+// the shed threshold.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.cfg.ShedQueue > 0 && s.pool.Waiting() >= int64(s.cfg.ShedQueue):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}
+
+// SetDraining flips the readiness probe: call with true when graceful
+// shutdown begins so load balancers stop routing new requests here while
+// in-flight ones finish. Liveness (/healthz) is unaffected.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // decode reads a JSON body with the size cap applied; on failure it writes
 // the error response and returns false.

@@ -41,6 +41,14 @@ type Answer struct {
 	Guess  int    `json:"guess,omitempty"`
 	// Report holds the measured MPC model quantities (MPC algorithms only).
 	Report *ReportJSON `json:"report,omitempty"`
+	// Degraded reports that the exact/MPC kernel ran out of deadline and
+	// the answer was produced by the sequential fallback (approximation
+	// for the edit algorithms, exact sequential for Ulam). Degraded
+	// answers are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// Retries counts the MPC cluster's fault-recovery actions during this
+	// run (0 and omitted without fault injection).
+	Retries int `json:"retries,omitempty"`
 	// Cached reports whether the answer was served from the LRU cache.
 	Cached bool `json:"cached"`
 	// ElapsedMs is the compute time of the original (uncached) execution.
@@ -67,6 +75,8 @@ type ReportJSON struct {
 	TotalOps    int64       `json:"totalOps"`
 	CriticalOps int64       `json:"criticalOps"`
 	CommWords   int64       `json:"commWords"`
+	Failures    int         `json:"failures,omitempty"`
+	Retries     int         `json:"retries,omitempty"`
 	Phases      []PhaseJSON `json:"phases,omitempty"`
 }
 
@@ -89,6 +99,8 @@ func reportJSON(r mpcdist.Report) *ReportJSON {
 		TotalOps:    r.TotalOps,
 		CriticalOps: r.CriticalOps,
 		CommWords:   r.CommWords,
+		Failures:    r.Failures,
+		Retries:     r.Retries,
 	}
 	for _, ps := range mpcdist.Profile(r).Phases {
 		rep.Phases = append(rep.Phases, PhaseJSON{

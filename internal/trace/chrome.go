@@ -27,6 +27,7 @@ type Chrome struct {
 	mu        sync.Mutex
 	spans     []chromeSpan
 	rounds    []chromeRound
+	instants  []chromeInstant
 	pid       int
 	lastRound int
 	sawRound  bool
@@ -40,6 +41,16 @@ type chromeSpan struct {
 type chromeRound struct {
 	pid     int
 	summary RoundSummary
+}
+
+// chromeInstant is a fault or retry rendered as an instant event on the
+// affected machine's track.
+type chromeInstant struct {
+	pid     int
+	name    string // EventFault or EventRetry
+	machine int
+	at      time.Time
+	args    map[string]any
 }
 
 // NewChrome returns an empty exporter.
@@ -71,6 +82,43 @@ func (c *Chrome) MachineEnd(s MachineSpan) {
 // Message is a no-op: per-machine fan-out and output volume are already on
 // the span's args, and per-message events would dwarf the trace.
 func (c *Chrome) Message(round, from, to, words int) {}
+
+// Fault records an injected fault as an instant event on the affected
+// machine's track, category "fault".
+func (c *Chrome) Fault(e FaultEvent) {
+	args := map[string]any{
+		"round":   e.Round,
+		"kind":    string(e.Kind),
+		"attempt": e.Attempt,
+	}
+	if e.Seq >= 0 {
+		args["seq"] = e.Seq
+	}
+	if e.To >= 0 {
+		args["to"] = e.To
+	}
+	c.mu.Lock()
+	c.instants = append(c.instants, chromeInstant{
+		pid: c.pid, name: EventFault, machine: e.Machine, at: e.At, args: args})
+	c.mu.Unlock()
+}
+
+// Retry records a recovery action (machine replay or message
+// retransmission) as an instant event on the machine's track.
+func (c *Chrome) Retry(e RetryEvent) {
+	args := map[string]any{
+		"round":   e.Round,
+		"kind":    string(e.Kind),
+		"attempt": e.Attempt,
+	}
+	if e.Seq >= 0 {
+		args["seq"] = e.Seq
+	}
+	c.mu.Lock()
+	c.instants = append(c.instants, chromeInstant{
+		pid: c.pid, name: EventRetry, machine: e.Machine, at: e.At, args: args})
+	c.mu.Unlock()
+}
 
 // RoundEnd records the round's aggregate span for the "rounds" track.
 func (c *Chrome) RoundEnd(r RoundSummary) {
@@ -110,6 +158,7 @@ func (c *Chrome) build() chromeFile {
 	c.mu.Lock()
 	spans := append([]chromeSpan(nil), c.spans...)
 	rounds := append([]chromeRound(nil), c.rounds...)
+	instants := append([]chromeInstant(nil), c.instants...)
 	c.mu.Unlock()
 
 	var epoch time.Time
@@ -121,6 +170,11 @@ func (c *Chrome) build() chromeFile {
 	for _, r := range rounds {
 		if !r.summary.Start.IsZero() && (epoch.IsZero() || r.summary.Start.Before(epoch)) {
 			epoch = r.summary.Start
+		}
+	}
+	for _, in := range instants {
+		if !in.at.IsZero() && (epoch.IsZero() || in.at.Before(epoch)) {
+			epoch = in.at
 		}
 	}
 	us := func(t time.Time) float64 {
@@ -169,6 +223,14 @@ func (c *Chrome) build() chromeFile {
 			"queueWaitUs": s.QueueWait.Microseconds(),
 			"straggler":   s.Skew.Straggler,
 		}
+		// Fault counters appear only when nonzero, so fault-free traces
+		// (including the golden test's) are unchanged.
+		if s.Failures > 0 {
+			args["failures"] = s.Failures
+		}
+		if s.Retries > 0 {
+			args["retries"] = s.Retries
+		}
 		if s.Err != "" {
 			args["error"] = s.Err
 		}
@@ -198,6 +260,14 @@ func (c *Chrome) build() chromeFile {
 				"fanout":      s.Fanout,
 				"queueWaitUs": s.QueueWait.Microseconds(),
 			},
+		})
+	}
+	for _, in := range instants {
+		proc(in.pid)
+		meta(in.pid, in.machine+1, "machine "+strconv.Itoa(in.machine))
+		events = append(events, chromeEvent{
+			Name: in.name, Cat: "fault", Ph: "i", Pid: in.pid, Tid: in.machine + 1,
+			Ts: us(in.at), Args: in.args,
 		})
 	}
 
@@ -238,10 +308,11 @@ func (c *Chrome) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// Events reports how many events the trace currently holds (spans and
-// round summaries; metadata is synthesized at export time).
+// Events reports how many events the trace currently holds (spans, round
+// summaries, and fault/retry instants; metadata is synthesized at export
+// time).
 func (c *Chrome) Events() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.spans) + len(c.rounds)
+	return len(c.spans) + len(c.rounds) + len(c.instants)
 }

@@ -64,12 +64,16 @@ type SkewAnalyzer struct {
 	rounds []RoundSkew
 }
 
-// RoundSkew is one analyzed round.
+// RoundSkew is one analyzed round. Failures/Retries mirror the round
+// summary's fault counters: injected straggler delays inflate the skew
+// stats, and these counts attribute that inflation to the injector.
 type RoundSkew struct {
 	Round    int
 	Name     string
 	Machines int
 	Skew     SkewStats
+	Failures int
+	Retries  int
 }
 
 // NewSkewAnalyzer returns an empty analyzer.
@@ -93,6 +97,8 @@ func (a *SkewAnalyzer) RoundEnd(r RoundSummary) {
 		Name:     r.Name,
 		Machines: r.Machines,
 		Skew:     Summarize(a.open[r.Round]),
+		Failures: r.Failures,
+		Retries:  r.Retries,
 	})
 	delete(a.open, r.Round)
 }
@@ -112,6 +118,8 @@ type Collector struct {
 	Spans     []MachineSpan
 	Messages  int
 	MsgWords  int64
+	Faults    []FaultEvent
+	Retries   []RetryEvent
 	Summaries []RoundSummary
 }
 
@@ -133,6 +141,18 @@ func (c *Collector) Message(round, from, to, words int) {
 	c.mu.Lock()
 	c.Messages++
 	c.MsgWords += int64(words)
+	c.mu.Unlock()
+}
+
+func (c *Collector) Fault(e FaultEvent) {
+	c.mu.Lock()
+	c.Faults = append(c.Faults, e)
+	c.mu.Unlock()
+}
+
+func (c *Collector) Retry(e RetryEvent) {
+	c.mu.Lock()
+	c.Retries = append(c.Retries, e)
 	c.mu.Unlock()
 }
 

@@ -56,7 +56,8 @@ func (s MachineSpan) Duration() time.Duration { return s.End.Sub(s.Start) }
 
 // RoundSummary closes a round with its aggregate measurements. Err is the
 // simulator's error ("input"/"output" memory violations, the machine-count
-// cap, or cancellation) when the round failed, empty on success.
+// cap, retry-budget exhaustion, or cancellation) when the round failed,
+// empty on success.
 type RoundSummary struct {
 	Round    int
 	Name     string
@@ -71,21 +72,78 @@ type RoundSummary struct {
 	QueueWait time.Duration
 	TotalOps  int64
 	CommWords int64
+	// Failures counts injected faults observed during the round (crashes,
+	// dropped/duplicated messages, straggler delays); Retries counts the
+	// recovery actions (machine re-executions, message retransmissions).
+	// Both are 0 on a fault-free cluster.
+	Failures int
+	Retries  int
 	// Skew summarizes the distribution of per-machine execution times.
 	Skew SkewStats
 	Err  string
 }
 
+// FaultKind labels an injected fault or the recovery action for it.
+type FaultKind string
+
+const (
+	FaultCrashBefore FaultKind = "crash-before" // machine lost before executing
+	FaultCrashAfter  FaultKind = "crash-after"  // machine lost after executing, output dropped
+	FaultMsgDrop     FaultKind = "msg-drop"     // message transmission lost in the shuffle
+	FaultMsgDup      FaultKind = "msg-dup"      // message duplicated in flight (receiver dedupes)
+	FaultStraggle    FaultKind = "straggle"     // machine execution delayed
+)
+
+// EventFault and EventRetry are the trace-event names fault and recovery
+// events render under (e.g. in the Chrome exporter's timeline).
+const (
+	EventFault = "fault"
+	EventRetry = "retry"
+)
+
+// FaultEvent reports one injected fault. Machine is the crashed/delayed
+// machine, or the sender for message faults; Seq and To are the message
+// coordinates for message faults and -1 otherwise.
+type FaultEvent struct {
+	Round   int
+	Name    string // round name
+	Phase   Phase
+	Machine int
+	Kind    FaultKind
+	Attempt int // the attempt the fault hit (0 = first execution/transmission)
+	Seq     int // sender's message sequence number (msg faults), -1 otherwise
+	To      int // destination machine (msg faults), -1 otherwise
+	At      time.Time
+}
+
+// RetryEvent reports one recovery action: a machine about to be replayed
+// or a message about to be retransmitted after the fault described by
+// Kind. Attempt is the upcoming attempt's index.
+type RetryEvent struct {
+	Round   int
+	Name    string
+	Phase   Phase
+	Machine int
+	Kind    FaultKind // the fault being recovered from
+	Attempt int       // the attempt about to run (>= 1)
+	Seq     int       // message sequence for retransmissions, -1 otherwise
+	At      time.Time
+}
+
 // Observer receives the simulator's execution events. RoundStart and
 // RoundEnd are invoked from the driving goroutine; MachineStart,
-// MachineEnd, and Message are invoked concurrently from the machine
-// goroutines, so implementations must be safe for concurrent use.
+// MachineEnd, Message, Fault, and Retry are invoked concurrently from the
+// machine goroutines, so implementations must be safe for concurrent use.
 type Observer interface {
 	RoundStart(r RoundInfo)
 	MachineStart(round, machine, inWords int)
 	MachineEnd(s MachineSpan)
 	// Message reports one emitted message (from -> to, words) during a round.
 	Message(round, from, to, words int)
+	// Fault reports one injected fault; Retry reports the recovery action
+	// replaying a machine or retransmitting a message.
+	Fault(e FaultEvent)
+	Retry(e RetryEvent)
 	RoundEnd(r RoundSummary)
 }
 
@@ -97,6 +155,8 @@ func (Base) RoundStart(RoundInfo)     {}
 func (Base) MachineStart(_, _, _ int) {}
 func (Base) MachineEnd(MachineSpan)   {}
 func (Base) Message(_, _, _, _ int)   {}
+func (Base) Fault(FaultEvent)         {}
+func (Base) Retry(RetryEvent)         {}
 func (Base) RoundEnd(RoundSummary)    {}
 
 // Multi fans every event out to several observers in order. A nil entry is
@@ -140,6 +200,18 @@ func (m multi) MachineEnd(s MachineSpan) {
 func (m multi) Message(round, from, to, words int) {
 	for _, o := range m {
 		o.Message(round, from, to, words)
+	}
+}
+
+func (m multi) Fault(e FaultEvent) {
+	for _, o := range m {
+		o.Fault(e)
+	}
+}
+
+func (m multi) Retry(e RetryEvent) {
+	for _, o := range m {
+		o.Retry(e)
 	}
 }
 
