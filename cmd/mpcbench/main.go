@@ -38,11 +38,13 @@ import (
 	"strings"
 	"time"
 
+	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
 )
 
 func main() {
+	dist.MaybeWorkerMain() // spawned worker processes re-exec this binary
 	out := flag.String("out", "", "output path (default BENCH_<stamp>.json in the current directory)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff deterministic counters against (exit 1 on drift)")
 	sizes := flag.String("sizes", "", "comma-separated problem sizes (default 192,384)")
@@ -50,10 +52,16 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "approximation slack epsilon")
 	tol := flag.Float64("tol", 0, "wall-time warning factor (>1 enables advisory wall-time comparison)")
 	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	transport := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
+	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries}
+	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries,
+		Transport: *transport, Workers: *workers}
+	if *transport == "tcp" {
+		fmt.Fprintf(os.Stderr, "mpcbench: running over tcp with %d workers (deterministic counters must still match a local baseline)\n", *workers)
+	}
 	if cfg.Faults != nil {
 		fmt.Fprintf(os.Stderr, "mpcbench: fault injection active: %s (failures/retries will be nonzero; compare against a faulted baseline)\n", cfg.Faults)
 	}

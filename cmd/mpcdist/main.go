@@ -7,6 +7,8 @@
 //	mpcdist -algo exact -a kitten -b sitting
 //	mpcdist -algo mpc -afile genome1.txt -bfile genome2.txt -x 0.25 -eps 0.5
 //	mpcdist -algo ulam-mpc -a "3 1 4 5 2" -b "1 4 3 5 2" -x 0.3
+//	mpcdist -algo mpc -afile a.txt -bfile b.txt -transport tcp -workers 3
+//	                      # same run across 3 real worker processes over TCP
 //
 // Algorithms: exact, myers, bounded, approx, script, mpc (Theorem 9),
 // hss ([20] baseline), ulam (exact), ulam-mpc (Theorem 4), lulam.
@@ -23,6 +25,7 @@ import (
 	"mpcdist/internal/approx"
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/stats"
@@ -32,6 +35,7 @@ import (
 )
 
 func main() {
+	dist.MaybeWorkerMain() // spawned worker processes re-exec this binary
 	algo := flag.String("algo", "exact", "algorithm: exact|myers|bounded|diagonal|approx|script|mpc|hss|ulam|ulam-mpc|lulam")
 	aStr := flag.String("a", "", "first input (string, or space/comma-separated ints for ulam)")
 	bStr := flag.String("b", "", "second input")
@@ -45,8 +49,24 @@ func main() {
 	verify := flag.Bool("verify", false, "also compute the exact distance and report the factor")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the MPC rounds to this file")
 	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	transportName := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
+	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	distAlgos := map[string]string{"mpc": dist.AlgoEditMPC, "hss": dist.AlgoEditHSS, "ulam-mpc": dist.AlgoUlamMPC}
+	switch *transportName {
+	case "local":
+	case "tcp":
+		if _, ok := distAlgos[*algo]; !ok {
+			die("-transport tcp requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
+		}
+		if *workers < 1 {
+			die("-transport tcp needs -workers >= 1, got %d", *workers)
+		}
+	default:
+		die("unknown -transport %q (want local or tcp)", *transportName)
+	}
 
 	a := input(*aStr, *aFile)
 	b := input(*bStr, *bFile)
@@ -114,13 +134,15 @@ func main() {
 		}
 		fmt.Print(editdist.FormatAlignment(a, b, script, 72))
 	case "mpc":
-		res, err := core.EditMPC(a, b, p)
+		res, err := runMPC(dist.AlgoEditMPC, p, a, b, nil, nil, *transportName, *workers,
+			func() (core.Result, error) { return core.EditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
 			verifyEdit(a, b, res.Value)
 		}
 	case "hss":
-		res, err := baseline.HSSEditMPC(a, b, p)
+		res, err := runMPC(dist.AlgoEditHSS, p, a, b, nil, nil, *transportName, *workers,
+			func() (core.Result, error) { return baseline.HSSEditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
 			verifyEdit(a, b, res.Value)
@@ -130,7 +152,8 @@ func main() {
 		fmt.Println(ulam.Exact(ia, ib, &ops))
 	case "ulam-mpc":
 		ia, ib := distinctInts(a), distinctInts(b)
-		res, err := core.UlamMPC(ia, ib, p)
+		res, err := runMPC(dist.AlgoUlamMPC, p, nil, nil, ia, ib, *transportName, *workers,
+			func() (core.Result, error) { return core.UlamMPC(ia, ib, p) })
 		report(res, err, *verbose)
 		if *verify {
 			exact := ulam.Exact(ia, ib, nil)
@@ -143,6 +166,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpcdist: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+}
+
+// runMPC dispatches an MPC run to the selected shuffle transport: local
+// calls the in-process driver, tcp spawns a distributed session of worker
+// processes and runs the same job across them (printing the bytes that
+// actually crossed the wire). The two paths produce bit-identical results
+// and model counters for the same seed.
+func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName string, workers int,
+	local func() (core.Result, error)) (core.Result, error) {
+	if transportName != "tcp" {
+		return local()
+	}
+	job := dist.FromParams(algo, p)
+	job.S, job.T, job.P, job.Q = s, t, pa, qa
+	sess, err := dist.NewSession(dist.SessionOptions{Workers: workers, Observer: p.Observer})
+	if err != nil {
+		return core.Result{}, err
+	}
+	defer sess.Close()
+	res, err := sess.Run(job)
+	st := sess.Stats()
+	fmt.Fprintf(os.Stderr, "mpcdist: transport=tcp workers=%d/%d wire: out=%dB in=%dB frames=%d exchanges=%d peersLost=%d reassigns=%d\n",
+		sess.Alive(), sess.Workers(), st.BytesOut, st.BytesIn, st.Frames, st.Exchanges, st.PeersLost, st.Reassigns)
+	return res, err
 }
 
 // chromeTrace and tracePath are set when -trace targets an MPC run; die

@@ -1,0 +1,31 @@
+// Command mpcworker joins a running coordinator as one worker process of
+// a distributed MPC session. mpcdist -transport tcp spawns its workers
+// automatically by re-executing itself, so this binary exists for running
+// workers by hand — on another terminal, under a debugger, or on another
+// machine reachable over TCP:
+//
+//	mpcworker -addr 127.0.0.1:4732
+//
+// The worker registers with the coordinator, executes its share of every
+// round's machines, and exits when the session shuts down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcdist/internal/dist"
+)
+
+func main() {
+	dist.MaybeWorkerMain()
+	addr := flag.String("addr", "", "coordinator address (host:port) to join")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "mpcworker: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(dist.WorkerMain(*addr))
+}

@@ -13,6 +13,7 @@ import (
 	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
 )
 
 // Params configures an MPC execution. The zero value is not valid; use
@@ -57,6 +58,14 @@ type Params struct {
 	// MaxRetries is the per-machine-round / per-message recovery budget
 	// (0 = mpc.DefaultMaxRetries).
 	MaxRetries int
+	// Transport, when non-nil, runs every cluster round over the given
+	// shuffle transport (see internal/transport and internal/dist): the
+	// round's machines are partitioned across the transport's parties and
+	// execution records are all-gathered at a per-round barrier. Nil means
+	// in-process execution. Distance guesses that use several clusters
+	// (EditMPC) share the one transport; its exchange sequence numbers run
+	// across cluster boundaries.
+	Transport transport.Transport
 }
 
 // PairSolver selects the per-pair edit-distance kernel used by the
@@ -137,6 +146,7 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		Observer:     p.Observer,
 		Faults:       p.Faults,
 		MaxRetries:   p.MaxRetries,
+		Transport:    p.Transport,
 	})
 }
 

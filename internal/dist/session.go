@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"mpcdist/internal/core"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
+)
+
+// SessionOptions configure a distributed session.
+type SessionOptions struct {
+	// Workers is the number of worker processes to spawn (>= 1).
+	Workers int
+	// Observer receives the coordinator's driver events plus transport
+	// events if it implements trace.TransportObserver. May be nil.
+	Observer trace.Observer
+	// Ctx cancels the coordinator's driver between rounds. May be nil.
+	Ctx context.Context
+	// Parallelism bounds concurrently simulated machines per process.
+	Parallelism int
+	// Stderr is where spawned workers' stderr goes (default os.Stderr).
+	Stderr io.Writer
+	// WorkerEnv appends extra environment variables to spawned workers
+	// (the tests use it to arm the deterministic die-at-exchange knob).
+	WorkerEnv []string
+	// Transport tunes the TCP liveness machinery (zero = defaults).
+	Transport transport.Options
+}
+
+// Session is a running distributed cluster: this process is the
+// coordinator (party 0) plus Workers spawned worker processes. Jobs run
+// one at a time; the session survives across jobs and is torn down by
+// Close.
+type Session struct {
+	mu   sync.Mutex
+	co   *transport.Coordinator
+	ln   net.Listener
+	cmds []*exec.Cmd
+	opts SessionOptions
+}
+
+// NewSession listens on a loopback port, re-execs this binary Workers
+// times as worker processes (see MaybeWorkerMain), and completes the
+// registration handshake with each.
+func NewSession(opts SessionOptions) (*Session, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("dist: need at least 1 worker, got %d", opts.Workers)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locating own binary: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	stderr := opts.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	s := &Session{ln: ln, opts: opts}
+	for i := 0; i < opts.Workers; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), EnvWorkerAddr+"="+ln.Addr().String())
+		cmd.Env = append(cmd.Env, opts.WorkerEnv...)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			s.kill()
+			ln.Close()
+			return nil, fmt.Errorf("dist: spawning worker %d: %w", i+1, err)
+		}
+		s.cmds = append(s.cmds, cmd)
+	}
+	topts := opts.Transport
+	if to, ok := opts.Observer.(trace.TransportObserver); ok && to != nil {
+		topts.OnEvent = to.Transport
+	}
+	co, err := transport.NewCoordinator(ln, opts.Workers, topts)
+	if err != nil {
+		s.kill()
+		ln.Close()
+		return nil, err
+	}
+	s.co = co
+	return s, nil
+}
+
+// Run executes one job across the session: broadcast the spec, run the
+// driver here as party 0 over the coordinator transport, then cross-check
+// every surviving worker's result digest against our own. Deterministic
+// driver errors (including injected-fault crashes) are part of the digest
+// — workers must land on the identical error.
+func (s *Session) Run(job Job) (core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, err := encodeValue(s.co.Codec(), job)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if err := s.co.StartJob(jb); err != nil {
+		return core.Result{}, err
+	}
+	host := core.Params{
+		Parallelism: s.opts.Parallelism,
+		Ctx:         s.opts.Ctx,
+		Observer:    s.opts.Observer,
+		Transport:   s.co,
+	}
+	res, rerr := runJob(job, host)
+	if isTransportErr(rerr) {
+		// The session itself broke (divergence, total peer loss): workers
+		// may be stuck at a barrier and will only unwind at Close's
+		// shutdown, so don't wait for digests.
+		return res, rerr
+	}
+	digests, gerr := s.co.Results()
+	if gerr != nil {
+		return res, gerr
+	}
+	want := digestOf(res, rerr)
+	for w, db := range digests {
+		if db == nil {
+			continue // worker lost mid-job; its machines were reassigned
+		}
+		got, derr := decodeDigest(s.co.Codec(), db)
+		if derr != nil {
+			return res, fmt.Errorf("dist: worker %d result: %w", w+1, derr)
+		}
+		if got != want {
+			return res, fmt.Errorf("dist: worker %d diverged: %+v, coordinator %+v", w+1, got, want)
+		}
+	}
+	return res, rerr
+}
+
+// isTransportErr reports whether err came from the transport layer rather
+// than the deterministic computation.
+func isTransportErr(err error) bool {
+	var d *transport.DivergenceError
+	var p *transport.PeerLossError
+	return errors.As(err, &d) || errors.As(err, &p) || errors.Is(err, transport.ErrShutdown)
+}
+
+// Workers reports how many workers the session started with.
+func (s *Session) Workers() int { return s.opts.Workers }
+
+// Alive reports how many workers are still responding.
+func (s *Session) Alive() int { return s.co.Alive() }
+
+// Stats reports the coordinator's transport counters (bytes on the wire,
+// frames, exchanges, losses, reassignments).
+func (s *Session) Stats() transport.Stats { return s.co.Stats() }
+
+// Close shuts the session down in order: tell workers there are no more
+// jobs, close the connections, and reap the worker processes (killing any
+// that fail to exit promptly).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.co.Shutdown()
+	s.ln.Close()
+	for _, cmd := range s.cmds {
+		if !waitTimeout(cmd, 10*time.Second) {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	s.cmds = nil
+	return nil
+}
+
+// kill force-terminates spawned workers (handshake-failure cleanup).
+func (s *Session) kill() {
+	for _, cmd := range s.cmds {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	s.cmds = nil
+}
+
+// waitTimeout reaps cmd, giving up (without reaping) after d.
+func waitTimeout(cmd *exec.Cmd, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

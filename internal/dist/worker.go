@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"mpcdist/internal/core"
+	"mpcdist/internal/transport"
+)
+
+// Environment variables that turn a freshly exec'd copy of the current
+// binary into a worker process (see MaybeWorkerMain).
+const (
+	// EnvWorkerAddr carries the coordinator's listen address; its presence
+	// is what marks the process as a worker.
+	EnvWorkerAddr = "MPCDIST_WORKER_ADDR"
+	// EnvWorkerDieSeq (tests only) arms transport.Options.TestDieAtSeq.
+	EnvWorkerDieSeq = "MPCDIST_WORKER_DIE_SEQ"
+	// EnvWorkerDieParty (tests only) arms transport.Options.TestDieAtParty.
+	EnvWorkerDieParty = "MPCDIST_WORKER_DIE_PARTY"
+)
+
+// MaybeWorkerMain hijacks the process if it was spawned as a session
+// worker (EnvWorkerAddr set): it runs the worker loop and exits, never
+// returning. In a normal invocation it returns immediately. Call it first
+// thing in main() — and in TestMain for packages whose tests start
+// sessions, since the spawned binary is then the test binary itself.
+func MaybeWorkerMain() {
+	addr := os.Getenv(EnvWorkerAddr)
+	if addr == "" {
+		return
+	}
+	os.Exit(WorkerMain(addr))
+}
+
+// WorkerMain dials the coordinator at addr and serves jobs until the
+// session shuts down. It returns a process exit code.
+func WorkerMain(addr string) int {
+	var opts transport.Options
+	if v := os.Getenv(EnvWorkerDieSeq); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", EnvWorkerDieSeq, v)
+			return 1
+		}
+		opts.TestDieAtSeq = n
+	}
+	if v := os.Getenv(EnvWorkerDieParty); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", EnvWorkerDieParty, v)
+			return 1
+		}
+		opts.TestDieAtParty = n
+	}
+	w, err := transport.DialWorker(addr, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcdist worker:", err)
+		return 1
+	}
+	defer w.Close()
+	if err := Serve(w); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcdist worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// Serve runs the worker side of a session: receive a job spec, run the
+// same deterministic driver the coordinator runs (executing only this
+// party's share of each round's machines), ship the result digest, and
+// repeat until the coordinator shuts the session down.
+func Serve(w *transport.Worker) error {
+	for {
+		jb, err := w.NextJob()
+		if errors.Is(err, transport.ErrShutdown) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		job, err := decodeJob(w.Codec(), jb)
+		if err != nil {
+			return fmt.Errorf("dist: decoding job: %w", err)
+		}
+		host := core.Params{
+			Parallelism: runtime.GOMAXPROCS(0),
+			Ctx:         context.Background(),
+			Transport:   w,
+		}
+		res, rerr := runJob(job, host)
+		if isTransportErr(rerr) {
+			if errors.Is(rerr, transport.ErrShutdown) {
+				return nil
+			}
+			return rerr
+		}
+		db, err := encodeValue(w.Codec(), digestOf(res, rerr))
+		if err != nil {
+			return err
+		}
+		if err := w.FinishJob(db); err != nil {
+			return err
+		}
+	}
+}

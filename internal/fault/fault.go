@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"time"
+
+	"mpcdist/internal/stats"
 )
 
 // Plan is a deterministic fault schedule. The zero value (and a nil *Plan)
@@ -58,14 +60,11 @@ const (
 )
 
 // mix64 is the SplitMix64 finalizer — the same mixer internal/mpc uses for
-// stream-seed derivation, duplicated here so mpc can depend on fault
-// without a cycle.
-func mix64(v uint64) uint64 {
-	v += 0x9e3779b97f4a7c15
-	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
-	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
-	return v ^ (v >> 31)
-}
+// stream-seed derivation, shared through internal/stats (fault and mpc used
+// to hold private copies; one implementation means the fault schedule a
+// worker process re-derives from its seed is bit-identical to the
+// coordinator's).
+func mix64(v uint64) uint64 { return stats.Mix64(v) }
 
 // decide evaluates one Bernoulli decision at the given coordinates. The
 // 53-bit mantissa conversion matches rand.Float64's resolution.

@@ -8,6 +8,7 @@ import (
 
 	"mpcdist/internal/baseline"
 	"mpcdist/internal/core"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
 	"mpcdist/internal/workload"
@@ -33,6 +34,15 @@ type BenchConfig struct {
 	Faults *fault.Plan
 	// MaxRetries is the recovery budget (0 = mpc.DefaultMaxRetries).
 	MaxRetries int
+	// Transport selects the shuffle transport: "local" (default,
+	// in-process) or "tcp" (a distributed session of real worker
+	// processes, shared across all cases). The deterministic counters are
+	// transport-independent — a tcp run must compare exactly against a
+	// local baseline — while ElapsedMs and WireBytes record what the
+	// transport cost.
+	Transport string
+	// Workers is the worker-process count for Transport "tcp" (0 = 2).
+	Workers int
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -41,6 +51,12 @@ func (c BenchConfig) withDefaults() BenchConfig {
 	}
 	if c.Eps <= 0 {
 		c.Eps = 0.5
+	}
+	if c.Transport == "" {
+		c.Transport = "local"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
 	}
 	return c
 }
@@ -77,22 +93,41 @@ type BenchResult struct {
 	Retries   int          `json:"retries"`
 	Phases    []BenchPhase `json:"phases"`
 	ElapsedMs float64      `json:"elapsedMs"` // wall time; compared with tolerance only
+	// WireBytes is the case's transport traffic (both directions, all
+	// workers) on a tcp run; 0 on local. Advisory, never compared.
+	WireBytes int64 `json:"wireBytes,omitempty"`
 }
 
 // BenchFile is the BENCH_<stamp>.json schema.
 type BenchFile struct {
-	Stamp   string        `json:"stamp"` // RFC 3339; excluded from comparison
-	Seed    int64         `json:"seed"`
-	Eps     float64       `json:"eps"`
-	Sizes   []int         `json:"sizes"`
-	Results []BenchResult `json:"results"`
+	Stamp string  `json:"stamp"` // RFC 3339; excluded from comparison
+	Seed  int64   `json:"seed"`
+	Eps   float64 `json:"eps"`
+	Sizes []int   `json:"sizes"`
+	// Transport/Workers record how the suite ran. Deliberately excluded
+	// from CompareBench's config gate: counters must match across
+	// transports, and diffing a tcp run against the local baseline is
+	// exactly how that invariant is checked.
+	Transport string        `json:"transport,omitempty"`
+	Workers   int           `json:"workers,omitempty"`
+	Results   []BenchResult `json:"results"`
 }
 
-// benchCase is one algorithm × workload generator of the suite.
+// benchInput is one case's generated problem instance: a byte pair for
+// the edit-distance algorithms, a permutation pair for Ulam.
+type benchInput struct {
+	s, sbar []byte
+	p, q    []int
+}
+
+// benchCase is one algorithm × workload generator of the suite. gen is
+// separated from the driver dispatch (runCase) so the identical inputs —
+// same rng construction, same call sequence — feed whichever shuffle
+// transport the run selects.
 type benchCase struct {
 	algo, workload string
 	x              float64
-	run            func(n int, p core.Params) (core.Result, error)
+	gen            func(n int) benchInput
 }
 
 // benchCases returns the suite: the paper's two algorithms and the two
@@ -102,89 +137,106 @@ func benchCases(seed int64) []benchCase {
 	// salt de-correlates the rng streams of workloads that share a
 	// generator structure (identical streams would yield identical op
 	// counts and hide a per-workload regression).
-	editPair := func(n int, salt int64, gen func(rng *rand.Rand, n int) ([]byte, []byte)) ([]byte, []byte) {
+	editPair := func(n int, salt int64, gen func(rng *rand.Rand, n int) ([]byte, []byte)) benchInput {
 		rng := rand.New(rand.NewSource(seed*104729 + int64(n) + salt))
 		s, sbar := gen(rng, n)
-		return s, sbar
+		return benchInput{s: s, sbar: sbar}
+	}
+	plantedRandom := func(n int) benchInput {
+		return editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
+			s := workload.RandomString(rng, n, 4)
+			return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
+		})
 	}
 	return []benchCase{
 		{
 			algo: "ulam-mpc", workload: "planted-perm", x: 0.3,
-			run: func(n int, p core.Params) (core.Result, error) {
+			gen: func(n int) benchInput {
 				rng := rand.New(rand.NewSource(seed*7919 + int64(n)))
 				s, sbar, _ := workload.PlantedUlam(rng, n, planted(n, 0.6))
-				return core.UlamMPC(s, sbar, p)
+				return benchInput{p: s, q: sbar}
 			},
 		},
 		{
 			algo: "ulam-mpc", workload: "block-move", x: 0.3,
-			run: func(n int, p core.Params) (core.Result, error) {
+			gen: func(n int) benchInput {
 				rng := rand.New(rand.NewSource(seed*7919 + int64(n) + 1))
 				s := workload.Permutation(rng, n)
 				sbar := workload.BlockMoveInts(rng, s, planted(n, 0.5))
-				return core.UlamMPC(s, sbar, p)
+				return benchInput{p: s, q: sbar}
 			},
 		},
 		{
 			algo: "edit-mpc", workload: "planted-random", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
-				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
-					s := workload.RandomString(rng, n, 4)
-					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
-				})
-				return core.EditMPC(s, sbar, p)
-			},
+			gen: plantedRandom,
 		},
 		{
 			algo: "edit-mpc", workload: "planted-dna", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
-				s, sbar := editPair(n, 1000, func(rng *rand.Rand, n int) ([]byte, []byte) {
+			gen: func(n int) benchInput {
+				return editPair(n, 1000, func(rng *rand.Rand, n int) ([]byte, []byte) {
 					s := workload.DNA(rng, n)
 					return s, workload.PlantedDNA(rng, s, planted(n, 0.5))
 				})
-				return core.EditMPC(s, sbar, p)
 			},
 		},
 		{
 			algo: "edit-mpc", workload: "periodic-shift", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
+			gen: func(n int) benchInput {
 				// Shift by a non-multiple of the effective period (sigma
 				// caps it at 4), so the rotation is a real, small edit.
 				s := workload.Periodic(n, 16, 4)
-				return core.EditMPC(s, workload.Shift(s, 7), p)
+				return benchInput{s: s, sbar: workload.Shift(s, 7)}
 			},
 		},
 		{
 			algo: "edit-mpc", workload: "zipf-blockmove", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
-				s, sbar := editPair(n, 2000, func(rng *rand.Rand, n int) ([]byte, []byte) {
+			gen: func(n int) benchInput {
+				return editPair(n, 2000, func(rng *rand.Rand, n int) ([]byte, []byte) {
 					s := workload.Zipf(rng, n, 16)
 					return s, workload.BlockMove(rng, s, planted(n, 0.5))
 				})
-				return core.EditMPC(s, sbar, p)
 			},
 		},
 		{
 			algo: "hss", workload: "planted-random", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
-				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
-					s := workload.RandomString(rng, n, 4)
-					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
-				})
-				return baseline.HSSEditMPC(s, sbar, p)
-			},
+			gen: plantedRandom,
 		},
 		{
 			algo: "lcs-mpc", workload: "planted-random", x: 0.25,
-			run: func(n int, p core.Params) (core.Result, error) {
-				s, sbar := editPair(n, 0, func(rng *rand.Rand, n int) ([]byte, []byte) {
-					s := workload.RandomString(rng, n, 4)
-					return s, workload.PlantedEdits(rng, s, planted(n, 0.5), 4)
-				})
-				return baseline.LCSMPC(s, sbar, p)
-			},
+			gen: plantedRandom,
 		},
 	}
+}
+
+// distAlgo maps a bench-case algorithm name to its dist.Job name.
+func distAlgo(algo string) string {
+	switch algo {
+	case "hss":
+		return dist.AlgoEditHSS
+	default:
+		return algo // ulam-mpc, edit-mpc, lcs-mpc use the dist names
+	}
+}
+
+// runCase dispatches one case: through the distributed session when one
+// is given, else to the in-process driver.
+func runCase(bc benchCase, in benchInput, p core.Params, sess *dist.Session) (core.Result, error) {
+	if sess != nil {
+		job := dist.FromParams(distAlgo(bc.algo), p)
+		job.S, job.T, job.P, job.Q = in.s, in.sbar, in.p, in.q
+		return sess.Run(job)
+	}
+	switch bc.algo {
+	case "ulam-mpc":
+		return core.UlamMPC(in.p, in.q, p)
+	case "edit-mpc":
+		return core.EditMPC(in.s, in.sbar, p)
+	case "hss":
+		return baseline.HSSEditMPC(in.s, in.sbar, p)
+	case "lcs-mpc":
+		return baseline.LCSMPC(in.s, in.sbar, p)
+	}
+	return core.Result{}, fmt.Errorf("harness: unknown bench algo %q", bc.algo)
 }
 
 // benchPhases flattens a report's phase profile for the JSON record.
@@ -210,13 +262,35 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 	file := BenchFile{
 		Stamp: time.Now().UTC().Format(time.RFC3339),
 		Seed:  cfg.Seed, Eps: cfg.Eps, Sizes: cfg.Sizes,
+		Transport: cfg.Transport,
+	}
+	var sess *dist.Session
+	switch cfg.Transport {
+	case "local":
+	case "tcp":
+		var err error
+		if sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers}); err != nil {
+			return BenchFile{}, err
+		}
+		defer sess.Close()
+		file.Workers = cfg.Workers
+	default:
+		return BenchFile{}, fmt.Errorf("harness: unknown transport %q (want local or tcp)", cfg.Transport)
+	}
+	wireBytes := func() int64 {
+		if sess == nil {
+			return 0
+		}
+		st := sess.Stats()
+		return st.BytesIn + st.BytesOut
 	}
 	for _, bc := range benchCases(cfg.Seed) {
 		for _, n := range cfg.Sizes {
 			p := core.Params{X: bc.x, Eps: cfg.Eps, Seed: cfg.Seed,
 				Faults: cfg.Faults, MaxRetries: cfg.MaxRetries}
 			start := time.Now()
-			res, err := bc.run(n, p)
+			wireStart := wireBytes()
+			res, err := runCase(bc, bc.gen(n), p, sess)
 			if err != nil {
 				return BenchFile{}, fmt.Errorf("harness: bench %s/%s n=%d: %w", bc.algo, bc.workload, n, err)
 			}
@@ -236,6 +310,7 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				Retries:     res.Report.Retries,
 				Phases:      benchPhases(res.Report),
 				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
+				WireBytes:   wireBytes() - wireStart,
 			})
 		}
 	}

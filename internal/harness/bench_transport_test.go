@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"mpcdist/internal/dist"
+)
+
+// TestMain lets the test binary serve as its own worker processes for the
+// tcp bench test below (see dist.MaybeWorkerMain).
+func TestMain(m *testing.M) {
+	dist.MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+// TestBenchTransportParity runs a reduced bench suite over both shuffle
+// transports and requires CompareBench to find zero deterministic-counter
+// drift between them — the bench-level form of the transport parity
+// invariant. WireBytes must be populated on the tcp side only.
+func TestBenchTransportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	local, err := RunBench(BenchConfig{Sizes: []int{96}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := RunBench(BenchConfig{Sizes: []int{96}, Seed: 3, Transport: "tcp", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, _ := CompareBench(local, tcp, 0)
+	for _, d := range diffs {
+		t.Errorf("local vs tcp drift: %s", d)
+	}
+	for i, r := range local.Results {
+		if r.WireBytes != 0 {
+			t.Errorf("%s: local run reports %d wire bytes", r.Name, r.WireBytes)
+		}
+		if tcp.Results[i].WireBytes == 0 {
+			t.Errorf("%s: tcp run reports zero wire bytes", tcp.Results[i].Name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mpc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBinPackEmpty(t *testing.T) {
+	if bins := BinPack(nil, 10); bins != nil {
+		t.Fatalf("BinPack(nil) = %v, want nil", bins)
+	}
+	if bins := BinPack([]int{}, 10); bins != nil {
+		t.Fatalf("BinPack(empty) = %v, want nil", bins)
+	}
+}
+
+func TestBinPackSingleOverweightItem(t *testing.T) {
+	bins := BinPack([]int{100}, 10)
+	if !reflect.DeepEqual(bins, [][]int{{0}}) {
+		t.Fatalf("overweight item got bins %v, want [[0]]", bins)
+	}
+	// Overweight items surrounded by normal ones still get their own bin.
+	bins = BinPack([]int{1, 100, 1}, 10)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(bins, want) {
+		t.Fatalf("BinPack([1 100 1], 10) = %v, want %v", bins, want)
+	}
+}
+
+func TestBinPackCapacityExact(t *testing.T) {
+	// Items tile the capacity exactly: no bin may be split early.
+	bins := BinPack([]int{5, 5, 5, 5}, 10)
+	want := [][]int{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(bins, want) {
+		t.Fatalf("BinPack([5 5 5 5], 10) = %v, want %v", bins, want)
+	}
+}
+
+// TestBinPackProperties checks the packing invariants over random inputs:
+// bins partition the indices in order, and no bin with more than one item
+// exceeds the capacity (a single item may, by the overweight rule).
+func TestBinPackProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		capacity := 1 + rng.Intn(30)
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = rng.Intn(20)
+		}
+		bins := BinPack(weights, capacity)
+		next := 0
+		for b, bin := range bins {
+			if len(bin) == 0 {
+				t.Fatalf("trial %d: bin %d is empty", trial, b)
+			}
+			load := 0
+			for _, i := range bin {
+				if i != next {
+					t.Fatalf("trial %d: bin %d holds index %d, want %d (order-preserving partition)", trial, b, i, next)
+				}
+				next++
+				load += weights[i]
+			}
+			if len(bin) > 1 && load > capacity {
+				t.Fatalf("trial %d: bin %d load %d exceeds capacity %d", trial, b, load, capacity)
+			}
+		}
+		if next != n {
+			t.Fatalf("trial %d: bins cover %d of %d items", trial, next, n)
+		}
+	}
+}
+
+// TestAssignMachinesProperties checks the machine->party partition built
+// on BinPack: every id lands on exactly one party, in order, and the
+// number of parties never exceeds the request.
+func TestAssignMachinesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		parties := 1 + rng.Intn(5)
+		ids := make([]int, n)
+		weights := make([]int, n)
+		for i := range ids {
+			ids[i] = 10 + i
+			weights[i] = 1 + rng.Intn(50)
+		}
+		assign := AssignMachines(ids, weights, parties)
+		if len(assign) != parties {
+			t.Fatalf("trial %d: %d assignment slots for %d parties", trial, len(assign), parties)
+		}
+		var flat []int
+		for _, part := range assign {
+			flat = append(flat, part...)
+		}
+		if !reflect.DeepEqual(flat, ids) && !(len(flat) == 0 && n == 0) {
+			t.Fatalf("trial %d: concatenated assignment %v != ids %v", trial, flat, ids)
+		}
+	}
+}
+
+// TestAssignMachinesDeterministic: the partition is a pure function — the
+// property the SPMD transport relies on to skip coordinating it.
+func TestAssignMachinesDeterministic(t *testing.T) {
+	ids := []int{3, 5, 8, 13, 21, 34}
+	weights := []int{7, 1, 9, 2, 2, 5}
+	want := AssignMachines(ids, weights, 3)
+	for i := 0; i < 10; i++ {
+		if got := AssignMachines(ids, weights, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d differs: %v vs %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package mpc
+
+import (
+	"time"
+
+	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
+)
+
+func init() {
+	// The simulator's built-in payload kinds; algorithm packages register
+	// their own job/message types the same way from their inits.
+	RegisterPayload("mpc.Ints", Ints(nil))
+	RegisterPayload("mpc.Bytes", Bytes(nil))
+	RegisterPayload("mpc.Int", Int(0))
+}
+
+// RegisterPayload adds a payload type to the transport codec's table so it
+// can cross process boundaries on a distributed cluster. Call from an init
+// function with a stable package-qualified name and any sample value of
+// the concrete type machines send (a pointer sample registers the pointer
+// type). Registration is mandatory only for distributed runs, but cheap
+// enough to do unconditionally.
+func RegisterPayload(name string, sample Payload) {
+	transport.Register(name, sample)
+}
+
+// AssignMachines partitions the round's sorted machine ids across parties
+// by input weight: BinPack groups consecutive ids into bins of capacity
+// ceil(total/parties), bins map one-to-one onto parties, and any overflow
+// bins (first-fit can open up to ~2x the ideal count) merge into the last
+// party. The partition is a pure function of its arguments, so every party
+// of an SPMD run computes the identical assignment with no coordination.
+func AssignMachines(ids []int, weights []int, parties int) [][]int {
+	assign := make([][]int, parties)
+	if len(ids) == 0 || parties <= 0 {
+		return assign
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	capacity := (total + parties - 1) / parties
+	if capacity < 1 {
+		capacity = 1
+	}
+	for b, bin := range BinPack(weights, capacity) {
+		p := b
+		if p >= parties {
+			p = parties - 1
+		}
+		for _, i := range bin {
+			assign[p] = append(assign[p], ids[i])
+		}
+	}
+	return assign
+}
+
+// remoteSpan reconstructs a trace span for a machine that executed on
+// another party, rebasing the remote party's monotonic offsets onto this
+// party's round clock. Wall-clock fidelity is approximate (the clocks are
+// different); counts and volumes are exact.
+func remoteSpan(name string, phase trace.Phase, round int, r transport.Record, base time.Time, inWords int) trace.MachineSpan {
+	outWords, fanout := 0, 0
+	seen := make(map[int]struct{}, 8)
+	for _, m := range r.Msgs {
+		outWords += m.Data.(Payload).Words()
+		if _, ok := seen[m.To]; !ok {
+			seen[m.To] = struct{}{}
+			fanout++
+		}
+	}
+	return trace.MachineSpan{
+		Round:     round,
+		Name:      name,
+		Phase:     phase,
+		Machine:   r.Machine,
+		Start:     base.Add(time.Duration(r.StartNs)),
+		End:       base.Add(time.Duration(r.EndNs)),
+		QueueWait: time.Duration(r.QueueNs),
+		Ops:       r.Ops,
+		InWords:   inWords,
+		OutWords:  outWords,
+		Sends:     len(r.Msgs),
+		Fanout:    fanout,
+	}
+}

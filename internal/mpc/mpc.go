@@ -33,6 +33,7 @@ import (
 	"mpcdist/internal/fault"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
 )
 
 // Payload is any unit of data shipped between machines. Words reports its
@@ -85,6 +86,16 @@ type Config struct {
 	// made before Run fails with *fault.CrashError or *fault.DropError.
 	// Zero means DefaultMaxRetries.
 	MaxRetries int
+	// Transport, when non-nil, is the shuffle transport the cluster runs
+	// over (see internal/transport): machine ids are partitioned across
+	// the transport's parties by input weight, each party executes its
+	// share, and execution records are all-gathered at a per-round
+	// barrier. Nil means the in-process transport (transport.Local) —
+	// the single-party fast path, bit-identical to the seed simulator.
+	// Every party of a distributed run must construct its cluster with an
+	// otherwise-identical Config (same Seed, MachineWords, Faults, ...):
+	// the SPMD contract.
+	Transport transport.Transport
 }
 
 // DefaultMaxRetries is the recovery budget used when Config.MaxRetries is
@@ -243,13 +254,10 @@ func (x *Ctx) Send(to int, data Payload) {
 	}
 }
 
-// mix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
-func mix64(v uint64) uint64 {
-	v += 0x9e3779b97f4a7c15
-	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
-	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
-	return v ^ (v >> 31)
-}
+// mix64 is the SplitMix64 finalizer, shared with internal/fault and the
+// transport layer through internal/stats so stream derivation cannot drift
+// between the coordinator and worker processes.
+func mix64(v uint64) uint64 { return stats.Mix64(v) }
 
 // Distinct stream kinds keep the per-machine and shared streams disjoint
 // even at coinciding (seed, round) coordinates.
@@ -445,6 +453,243 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		maxRetries = DefaultMaxRetries
 	}
 
+	// Partition the round across the transport's parties by input weight.
+	// Every party computes the same partition from the same sorted ids —
+	// no coordination needed — and executes only its own share; the
+	// exchange below restores the full round for everyone.
+	tr := c.cfg.Transport
+	parties, self := 1, 0
+	if tr != nil {
+		parties, self = tr.Parties()
+	}
+	assign := [][]int{ids}
+	myIDs := ids
+	if parties > 1 {
+		assign = AssignMachines(ids, inWords, parties)
+		myIDs = assign[self]
+	}
+
+	inWordsByID := make(map[int]int, len(ids))
+	for k, id := range ids {
+		inWordsByID[id] = inWords[k]
+	}
+	re := &roundExec{
+		c: c, ctx: ctx, round: round, name: name, phase: phase, obs: obs,
+		inputs: inputs, inWords: inWordsByID, fn: fn, base: time.Now(),
+		plan: plan, active: active, maxRetries: maxRetries,
+	}
+
+	local, err := re.run(myIDs)
+	if err != nil {
+		return nil, fail(err)
+	}
+	merged := local
+	if tr != nil {
+		meta := transport.RoundMeta{Round: round, Name: name, Phase: string(phase)}
+		merged, err = tr.Exchange(meta, assign, local, re.run)
+		if err != nil {
+			return nil, fail(fmt.Errorf("mpc: round %q: %w", name, err))
+		}
+	}
+
+	// Replay observer events for machines that executed on other parties;
+	// in-process machines already fired theirs from inside roundExec. The
+	// replayed timestamps are the remote party's offsets rebased onto this
+	// party's round clock — advisory, like all wall-clock quantities.
+	if obs != nil {
+		for _, r := range merged {
+			if !r.Remote || !r.Started {
+				continue
+			}
+			obs.MachineStart(round, r.Machine, inWordsByID[r.Machine])
+			for _, m := range r.Msgs {
+				obs.Message(round, r.Machine, m.To, m.Data.(Payload).Words())
+			}
+			obs.MachineEnd(remoteSpan(name, phase, round, r, re.base, inWordsByID[r.Machine]))
+		}
+	}
+
+	for _, r := range merged {
+		st.Failures += r.Failures
+		st.Retries += r.Retries
+	}
+
+	// Execution window and skew over the machines that actually ran.
+	var firstNs, lastNs int64
+	started := false
+	var durs []time.Duration
+	for _, r := range merged {
+		if !r.Started {
+			continue // cancelled before execution
+		}
+		if !started || r.StartNs < firstNs {
+			firstNs = r.StartNs
+		}
+		if r.EndNs > lastNs {
+			lastNs = r.EndNs
+		}
+		started = true
+		st.QueueWait += time.Duration(r.QueueNs)
+		durs = append(durs, time.Duration(r.EndNs-r.StartNs))
+	}
+	if started {
+		st.Elapsed = time.Duration(lastNs - firstNs)
+	}
+	st.Skew = trace.Summarize(durs)
+
+	if err := ctx.Err(); err != nil {
+		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
+	}
+	for _, r := range merged {
+		if r.Crashed {
+			// Retry budget exhausted on a machine: the round cannot
+			// complete. merged is sorted by machine id, so the reported
+			// machine is deterministic — and identical on every party.
+			return nil, fail(&fault.CrashError{Round: round, Name: name, Machine: r.Machine, Attempts: r.CrashAttempts})
+		}
+	}
+
+	// Message IDs are (round, sender, sequence); with an active fault plan
+	// the shuffle retransmits dropped messages and the receiver collapses
+	// duplicates (and redundant retransmissions) by ID, keeping the first
+	// copy. Senders are walked in sorted-id order and outboxes in sequence
+	// order, so delivery order — and therefore every downstream machine's
+	// input — is bit-identical to the fault-free path. All decisions are
+	// pure functions of the plan and the merged records, so every party of
+	// a distributed run computes the identical shuffle.
+	type msgID struct{ from, seq int }
+	var seen map[int]map[msgID]bool
+	if active {
+		seen = make(map[int]map[msgID]bool)
+	}
+	deliver := func(next map[int][]Payload, to, from, seq int, data Payload) {
+		id := msgID{from, seq}
+		dst := seen[to]
+		if dst == nil {
+			dst = make(map[msgID]bool)
+			seen[to] = dst
+		}
+		if dst[id] {
+			return // duplicate detected by message ID
+		}
+		dst[id] = true
+		next[to] = append(next[to], data)
+	}
+
+	next := make(map[int][]Payload)
+	var firstErr error
+	for _, r := range merged {
+		st.TotalOps += r.Ops
+		if r.Ops > st.MaxMachineOps {
+			st.MaxMachineOps = r.Ops
+		}
+		w := 0
+		for _, m := range r.Msgs {
+			w += m.Data.(Payload).Words()
+		}
+		// CommWords is the logical shuffle volume — retransmissions and
+		// duplicates are host-level recovery, not model communication — so
+		// the deterministic counters match the fault-free run exactly.
+		st.CommWords += int64(w)
+		if w > st.MaxOutWords {
+			st.MaxOutWords = w
+		}
+		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords && firstErr == nil {
+			firstErr = &MemoryError{Round: name, Machine: r.Machine, Words: w, Limit: c.cfg.MachineWords, Kind: "output"}
+		}
+		if !active {
+			for _, m := range r.Msgs {
+				next[m.To] = append(next[m.To], m.Data.(Payload))
+			}
+			continue
+		}
+		for seq, m := range r.Msgs {
+			delivered := false
+			for attempt := 0; ; attempt++ {
+				if plan.DropMsg(round, r.Machine, seq, attempt) {
+					st.Failures++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: r.Machine,
+							Kind: trace.FaultMsgDrop, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
+					}
+					if attempt >= maxRetries {
+						if firstErr == nil {
+							firstErr = &fault.DropError{Round: round, Name: name,
+								From: r.Machine, To: m.To, Seq: seq, Attempts: attempt + 1}
+						}
+						break
+					}
+					st.Retries++
+					if obs != nil {
+						obs.Retry(trace.RetryEvent{Round: round, Name: name, Phase: phase, Machine: r.Machine,
+							Kind: trace.FaultMsgDrop, Attempt: attempt + 1, Seq: seq, At: time.Now()})
+					}
+					continue
+				}
+				delivered = true
+				if plan.DupMsg(round, r.Machine, seq, attempt) {
+					st.Failures++
+					if obs != nil {
+						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: r.Machine,
+							Kind: trace.FaultMsgDup, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
+					}
+					// The duplicate goes through the same delivery path and
+					// is caught by the receiver's ID dedup.
+					deliver(next, m.To, r.Machine, seq, m.Data.(Payload))
+				}
+				break
+			}
+			if delivered {
+				deliver(next, m.To, r.Machine, seq, m.Data.(Payload))
+			}
+		}
+	}
+	c.rounds = append(c.rounds, st)
+	if obs != nil {
+		sum := summary(round, &st)
+		if started {
+			sum.Start, sum.End = re.base.Add(time.Duration(firstNs)), re.base.Add(time.Duration(lastNs))
+		}
+		if firstErr != nil {
+			sum.Err = firstErr.Error()
+		}
+		obs.RoundEnd(sum)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return next, nil
+}
+
+// roundExec binds one round's immutable context — inputs, seed streams,
+// fault plan, observer — into a closure that can execute any subset of the
+// round's machines. Cluster.Run uses it for this party's share; the
+// transport reuses it to re-execute a lost peer's machines mid-round
+// (exact replay: execution is a pure function of (seed, round, machine,
+// inputs)).
+type roundExec struct {
+	c          *Cluster
+	ctx        context.Context
+	round      int
+	name       string
+	phase      trace.Phase
+	obs        trace.Observer
+	inputs     map[int][]Payload
+	inWords    map[int]int
+	fn         MachineFunc
+	base       time.Time
+	plan       *fault.Plan
+	active     bool
+	maxRetries int
+}
+
+// run executes the given machines concurrently (bounded by the cluster's
+// parallelism) and returns their execution records in id order.
+func (re *roundExec) run(ids []int) ([]transport.Record, error) {
+	c, ctx, obs := re.c, re.ctx, re.obs
+	round, name, phase := re.round, re.name, re.phase
+	plan, active, maxRetries := re.plan, re.active, re.maxRetries
+
 	ctxs := make([]*Ctx, len(ids))
 	// Per-machine fault bookkeeping, written by the machine's goroutine and
 	// read after wg.Wait (the Wait establishes the happens-before edge).
@@ -454,7 +699,7 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.cfg.Parallelism)
 	for k, id := range ids {
-		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: inWords[k]}
+		ctxs[k] = &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: re.inWords[id]}
 		wg.Add(1)
 		go func(k, id int, in []Payload) {
 			defer wg.Done()
@@ -471,7 +716,7 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 				// A fresh Ctx per attempt: replay is exact because the
 				// machine's random streams and inputs depend only on
 				// (seed, round, machine), never on the attempt.
-				x := &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: inWords[k]}
+				x := &Ctx{Machine: id, Round: round, cluster: c, phase: phase, obs: obs, inWords: re.inWords[id]}
 				ctxs[k] = x
 				if active && plan.CrashBefore(round, id, attempt) {
 					machFails[k]++
@@ -521,7 +766,7 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 						}
 					}
 				}
-				fn(x, in)
+				re.fn(x, in)
 				x.end = time.Now()
 				if obs != nil {
 					obs.MachineEnd(x.span(name))
@@ -546,155 +791,39 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 				}
 				return
 			}
-		}(k, id, inputs[id])
+		}(k, id, re.inputs[id])
 	}
 	wg.Wait()
 
-	for k := range ids {
-		st.Failures += machFails[k]
-		st.Retries += machRetries[k]
-	}
-
-	// Execution window and skew over the machines that actually ran.
-	var first, last time.Time
-	var durs []time.Duration
-	for _, x := range ctxs {
-		if x.start.IsZero() {
-			continue // cancelled before execution
+	recs := make([]transport.Record, len(ids))
+	for k, x := range ctxs {
+		r := transport.Record{
+			Machine:  x.Machine,
+			Ops:      x.ops.Count(),
+			Failures: machFails[k],
+			Retries:  machRetries[k],
 		}
-		if first.IsZero() || x.start.Before(first) {
-			first = x.start
+		if !x.start.IsZero() {
+			r.Started = true
+			r.StartNs = x.start.Sub(re.base).Nanoseconds()
+			r.EndNs = x.end.Sub(re.base).Nanoseconds()
+			r.QueueNs = int64(x.queueWait)
 		}
-		if x.end.After(last) {
-			last = x.end
-		}
-		st.QueueWait += x.queueWait
-		durs = append(durs, x.end.Sub(x.start))
-	}
-	if !first.IsZero() {
-		st.Elapsed = last.Sub(first)
-	}
-	st.Skew = trace.Summarize(durs)
-
-	if err := ctx.Err(); err != nil {
-		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
-	}
-	for _, ce := range crashed {
-		if ce != nil {
-			// Retry budget exhausted on a machine: the round cannot
-			// complete. crashed is scanned in machine-id order, so the
-			// reported machine is deterministic.
-			return nil, fail(ce)
-		}
-	}
-
-	// Message IDs are (round, sender, sequence); with an active fault plan
-	// the shuffle retransmits dropped messages and the receiver collapses
-	// duplicates (and redundant retransmissions) by ID, keeping the first
-	// copy. Senders are walked in sorted-id order and outboxes in sequence
-	// order, so delivery order — and therefore every downstream machine's
-	// input — is bit-identical to the fault-free path.
-	type msgID struct{ from, seq int }
-	var seen map[int]map[msgID]bool
-	if active {
-		seen = make(map[int]map[msgID]bool)
-	}
-	deliver := func(next map[int][]Payload, to, from, seq int, data Payload) {
-		id := msgID{from, seq}
-		dst := seen[to]
-		if dst == nil {
-			dst = make(map[msgID]bool)
-			seen[to] = dst
-		}
-		if dst[id] {
-			return // duplicate detected by message ID
-		}
-		dst[id] = true
-		next[to] = append(next[to], data)
-	}
-
-	next := make(map[int][]Payload)
-	var firstErr error
-	for _, x := range ctxs {
-		ops := x.ops.Count()
-		st.TotalOps += ops
-		if ops > st.MaxMachineOps {
-			st.MaxMachineOps = ops
-		}
-		w := 0
-		for _, m := range x.out {
-			w += m.Data.Words()
-		}
-		// CommWords is the logical shuffle volume — retransmissions and
-		// duplicates are host-level recovery, not model communication — so
-		// the deterministic counters match the fault-free run exactly.
-		st.CommWords += int64(w)
-		if w > st.MaxOutWords {
-			st.MaxOutWords = w
-		}
-		if c.cfg.MachineWords > 0 && w > c.cfg.MachineWords && firstErr == nil {
-			firstErr = &MemoryError{Round: name, Machine: x.Machine, Words: w, Limit: c.cfg.MachineWords, Kind: "output"}
-		}
-		if !active {
-			for _, m := range x.out {
-				next[m.To] = append(next[m.To], m.Data)
-			}
-			continue
-		}
-		for seq, m := range x.out {
-			delivered := false
-			for attempt := 0; ; attempt++ {
-				if plan.DropMsg(round, x.Machine, seq, attempt) {
-					st.Failures++
-					if obs != nil {
-						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
-							Kind: trace.FaultMsgDrop, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
-					}
-					if attempt >= maxRetries {
-						if firstErr == nil {
-							firstErr = &fault.DropError{Round: round, Name: name,
-								From: x.Machine, To: m.To, Seq: seq, Attempts: attempt + 1}
-						}
-						break
-					}
-					st.Retries++
-					if obs != nil {
-						obs.Retry(trace.RetryEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
-							Kind: trace.FaultMsgDrop, Attempt: attempt + 1, Seq: seq, At: time.Now()})
-					}
-					continue
-				}
-				delivered = true
-				if plan.DupMsg(round, x.Machine, seq, attempt) {
-					st.Failures++
-					if obs != nil {
-						obs.Fault(trace.FaultEvent{Round: round, Name: name, Phase: phase, Machine: x.Machine,
-							Kind: trace.FaultMsgDup, Attempt: attempt, Seq: seq, To: m.To, At: time.Now()})
-					}
-					// The duplicate goes through the same delivery path and
-					// is caught by the receiver's ID dedup.
-					deliver(next, m.To, x.Machine, seq, m.Data)
-				}
-				break
-			}
-			if delivered {
-				deliver(next, m.To, x.Machine, seq, m.Data)
+		if ce := crashed[k]; ce != nil {
+			// The machine exhausted its replay budget; its output (if any
+			// attempt produced one) is lost, so only the crash marker
+			// ships — every party fails the round on it identically.
+			r.Crashed = true
+			r.CrashAttempts = ce.Attempts
+		} else if len(x.out) > 0 {
+			r.Msgs = make([]transport.Msg, len(x.out))
+			for i, m := range x.out {
+				r.Msgs[i] = transport.Msg{To: m.To, Data: m.Data}
 			}
 		}
+		recs[k] = r
 	}
-	c.rounds = append(c.rounds, st)
-	if obs != nil {
-		sum := summary(round, &st)
-		sum.Start, sum.End = first, last
-		if firstErr != nil {
-			sum.Err = firstErr.Error()
-		}
-		obs.RoundEnd(sum)
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return next, nil
+	return recs, nil
 }
 
 // summary converts the round's stats into the observer's closing event.

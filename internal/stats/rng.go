@@ -1,0 +1,17 @@
+package stats
+
+// Mix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+// It is the single shared mixing primitive behind every deterministic
+// derivation in the repository — the simulator's per-machine and shared
+// random streams (internal/mpc), the fault-schedule decisions
+// (internal/fault), and the distributed transport's job-id derivation
+// (internal/dist) all chain Mix64 over their coordinates. Keeping one
+// implementation (with a golden-vector test) guarantees the streams cannot
+// drift apart: a worker process re-deriving a seed from (seed, round,
+// machine) lands on exactly the bits the coordinator derived.
+func Mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMix64 is an independent transcription of the SplitMix64 finalizer from
+// the reference constants (Steele, Lea, Flood; as in Vigna's splitmix64.c).
+// Mix64 moved here from private copies in internal/mpc and internal/fault;
+// this golden reference is what both packages' streams were derived from,
+// so agreement here means neither stream shifted in the consolidation.
+func refMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func TestMix64GoldenVectors(t *testing.T) {
+	// Known outputs of splitmix64 next() seeded at 0, 1, and a large seed:
+	// next(seed) is exactly the finalizer applied to seed+gamma, i.e.
+	// Mix64(seed) in our formulation.
+	golden := map[uint64]uint64{
+		0:                  0xe220a8397b1dcdaf,
+		1:                  0x910a2dec89025cc1,
+		0xdeadbeefcafebabe: 0x0d7d93560d1929d2,
+		0xffffffffffffffff: 0xe4d971771b652c20,
+		0x9e3779b97f4a7c15: 0x6e789e6aa1b965f4,
+	}
+	for in, want := range golden {
+		if got := Mix64(in); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestMix64MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10_000; i++ {
+		v := rng.Uint64()
+		if got, want := Mix64(v), refMix64(v); got != want {
+			t.Fatalf("Mix64(%#x) = %#x, reference says %#x", v, got, want)
+		}
+	}
+}
+
+func TestMix64Scatters(t *testing.T) {
+	// Sanity: sequential inputs must not collide in the low 32 bits over a
+	// modest range (the simulator derives per-machine seeds this way).
+	seen := make(map[uint32]uint64, 1<<16)
+	for v := uint64(0); v < 1<<16; v++ {
+		lo := uint32(Mix64(v))
+		if prev, ok := seen[lo]; ok {
+			t.Fatalf("low-32 collision: Mix64(%d) and Mix64(%d)", prev, v)
+		}
+		seen[lo] = v
+	}
+}

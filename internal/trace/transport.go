@@ -1,0 +1,34 @@
+package trace
+
+import "time"
+
+// Transport event kinds (TransportEvent.Kind).
+const (
+	TransportHandshake = "handshake" // session established: all workers registered
+	TransportPeerLost  = "peer-lost" // a peer stopped responding (conn error or heartbeat deadline)
+	TransportReassign  = "reassign"  // a lost peer's machines were re-executed elsewhere
+	TransportExchange  = "exchange"  // one round barrier completed
+)
+
+// TransportEvent reports one occurrence in the distributed shuffle
+// transport (see internal/transport): session handshakes, round-barrier
+// completions, peer losses, and the reassignments that recover from them.
+// These are host-level events — a run's deterministic model counters are
+// identical whatever they say.
+type TransportEvent struct {
+	Kind  string
+	Party int   // remote party involved (0 = the coordinator), -1 when not applicable
+	Seq   int   // exchange sequence number within the session, 0 when not applicable
+	IDs   int   // machine count involved (reassignments), 0 otherwise
+	Bytes int64 // cumulative bytes on the wire at event time
+	At    time.Time
+}
+
+// TransportObserver is implemented by observers that additionally want
+// transport-level events. It is deliberately a separate, optional
+// interface rather than a method on Observer, so existing observers keep
+// compiling; internal/dist type-asserts for it when wiring a distributed
+// run.
+type TransportObserver interface {
+	Transport(e TransportEvent)
+}

@@ -1,0 +1,236 @@
+package transport_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpcdist/internal/transport"
+)
+
+// everyKind exercises every kind the structural encoding covers in one
+// registered payload type.
+type everyKind struct {
+	B   bool
+	I   int
+	I8  int8
+	I64 int64
+	U   uint32
+	F   float64
+	S   string
+	Raw []byte
+	Is  []int
+	Arr [3]int16
+	MI  map[int]string
+	MS  map[string]int64
+	P   *int
+	Sub subKind
+	PS  *subKind
+}
+
+type subKind struct {
+	X int
+	Y string
+}
+
+type hasUnexported struct {
+	X int
+	y int //nolint:unused // the codec must reject this field
+}
+
+func init() {
+	transport.Register("transporttest.everyKind", everyKind{})
+	transport.Register("transporttest.sub", subKind{})
+	transport.Register("transporttest.bad", hasUnexported{})
+}
+
+func sampleEveryKind() everyKind {
+	x := 41
+	return everyKind{
+		B:   true,
+		I:   -12345,
+		I8:  -3,
+		I64: 1 << 60,
+		U:   9999,
+		F:   3.5,
+		S:   "héllo",
+		Raw: []byte{0, 1, 2, 255},
+		Is:  []int{5, -5, 0},
+		Arr: [3]int16{7, -8, 9},
+		MI:  map[int]string{3: "c", 1: "a", 2: "b"},
+		MS:  map[string]int64{"z": 26, "a": 1},
+		P:   &x,
+		Sub: subKind{X: 1, Y: "sub"},
+		PS:  &subKind{X: 2},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := transport.NewCodec()
+	in := sampleEveryKind()
+	buf, err := c.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+	re, err := c.Encode(nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, re) {
+		t.Fatalf("re-encode differs: % x vs % x", buf, re)
+	}
+}
+
+// TestCodecDeterministicMaps guards the canonical-bytes contract: two
+// processes encoding equal values must produce equal bytes, so map
+// iteration order must not leak into the encoding.
+func TestCodecDeterministicMaps(t *testing.T) {
+	c := transport.NewCodec()
+	want, err := c.Encode(nil, sampleEveryKind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		got, err := c.Encode(nil, sampleEveryKind())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("encoding %d differs from first", i)
+		}
+	}
+}
+
+// TestCodecZeroValue pins the empty-collection convention: len-0 slices
+// and maps decode to nil, so a decode/re-encode cycle is byte-stable.
+func TestCodecZeroValue(t *testing.T) {
+	c := transport.NewCodec()
+	buf, err := c.Encode(nil, everyKind{Raw: []byte{}, Is: []int{}, MI: map[int]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(everyKind)
+	if got.Raw != nil || got.Is != nil || got.MI != nil {
+		t.Fatalf("empty collections decoded non-nil: %+v", got)
+	}
+	re, err := c.Encode(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, re) {
+		t.Fatal("zero-value re-encode differs")
+	}
+}
+
+func TestCodecRejectsTruncatedAndTrailing(t *testing.T) {
+	c := transport.NewCodec()
+	buf, err := c.Encode(nil, sampleEveryKind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i++ {
+		if _, err := c.Decode(buf[:i]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", i, len(buf))
+		}
+	}
+	if _, err := c.Decode(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+}
+
+// TestCodecRejectsOversizedLengths feeds a frame whose announced slice
+// length exceeds the bytes that follow: the decoder must error without
+// attempting the allocation.
+func TestCodecRejectsOversizedLengths(t *testing.T) {
+	c := transport.NewCodec()
+	buf, err := c.Encode(nil, subKind{X: 1, Y: "ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Y field's length prefix is the byte before the final "ab".
+	evil := append([]byte(nil), buf...)
+	evil[len(evil)-3] = 0xff // announce a 127-byte string with 2 bytes left
+	if _, err := c.Decode(evil); err == nil {
+		t.Fatal("decode with oversized string length succeeded")
+	}
+}
+
+func TestCodecRejectsUnregisteredAndUnexported(t *testing.T) {
+	c := transport.NewCodec()
+	type unregistered struct{ X int }
+	if _, err := c.Encode(nil, unregistered{}); err == nil {
+		t.Fatal("encoding an unregistered type succeeded")
+	}
+	if _, err := c.Encode(nil, hasUnexported{X: 1}); err == nil {
+		t.Fatal("encoding a type with unexported fields succeeded")
+	}
+}
+
+// TestCodecTableExchange simulates the handshake: a codec built from an
+// explicit subset table maps ids by name, so values survive even though
+// the wire ids differ from the full-registry codec's.
+func TestCodecTableExchange(t *testing.T) {
+	full := transport.NewCodec()
+	sub, err := transport.NewCodecFor([]string{"transporttest.sub", "transporttest.everyKind"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := subKind{X: 9, Y: "x"}
+	buf, err := sub.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sub.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("subset-table round trip mismatch: %+v", out)
+	}
+	fullBuf, err := full.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, fullBuf) {
+		t.Skip("ids happen to coincide; table-mapping not observable")
+	}
+}
+
+func TestNewCodecForUnknownName(t *testing.T) {
+	if _, err := transport.NewCodecFor([]string{"no.such.type"}); err == nil {
+		t.Fatal("NewCodecFor with an unknown name succeeded")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	transport.Register("transporttest.sub", subKind{})
+}
+
+// TestCodecDecodeGarbage throws random bytes at the decoder: it must
+// return errors, never panic, for arbitrary input.
+func TestCodecDecodeGarbage(t *testing.T) {
+	c := transport.NewCodec()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		c.Decode(data) // must not panic; errors are expected and fine
+	}
+}

@@ -1,0 +1,508 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire protocol (see docs/DISTRIBUTED.md): every frame is
+//
+//	[1 byte type][4 bytes big-endian body length][body]
+//
+// Bodies are built from the same primitives as the payload codec (varints,
+// length-prefixed strings); records embed codec-encoded payload values.
+
+// ProtocolVersion is bumped on any incompatible change to the framing or
+// the handshake. The coordinator rejects workers announcing a different
+// version.
+const ProtocolVersion = 1
+
+// helloMagic opens the fHello body so a coordinator can immediately reject
+// a stray connection that is not an mpcdist worker.
+const helloMagic = 0x4d504358 // "MPCX"
+
+type frameType byte
+
+const (
+	fHello    frameType = 1  // worker -> coordinator: magic, protocol version
+	fWelcome  frameType = 2  // coordinator -> worker: version, parties, party id, codec table
+	fJobStart frameType = 3  // coordinator -> worker: opaque job spec
+	fResult   frameType = 4  // worker -> coordinator: opaque result digest
+	fShutdown frameType = 5  // coordinator -> worker: session over
+	fRecords  frameType = 6  // worker -> coordinator: seq, meta, execution records
+	fAssign   frameType = 7  // coordinator -> worker: seq, extra machine ids (reassignment)
+	fMerged   frameType = 8  // coordinator -> worker: seq, meta, full merged round
+	fPing     frameType = 9  // either direction: heartbeat, empty body
+	fError    frameType = 10 // either direction: fatal condition, message string
+)
+
+func (t frameType) String() string {
+	switch t {
+	case fHello:
+		return "hello"
+	case fWelcome:
+		return "welcome"
+	case fJobStart:
+		return "job-start"
+	case fResult:
+		return "result"
+	case fShutdown:
+		return "shutdown"
+	case fRecords:
+		return "records"
+	case fAssign:
+		return "assign"
+	case fMerged:
+		return "merged"
+	case fPing:
+		return "ping"
+	case fError:
+		return "error"
+	}
+	return fmt.Sprintf("frame(%d)", byte(t))
+}
+
+// maxFrame caps a frame body; a longer announced length means a corrupt or
+// hostile stream, not a big round.
+const maxFrame = 1 << 30
+
+type frame struct {
+	typ  frameType
+	body []byte
+}
+
+// countConn counts bytes crossing a net.Conn — the bytes-on-wire metric
+// surfaced through Stats and the bench transport dimension.
+type countConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// peer is one live connection, either side. Frames are written under wmu
+// (round traffic and the heartbeat ticker share the conn); inbound frames
+// are pumped by a reader goroutine into frames, which closes on error with
+// the cause left in readErr.
+type peer struct {
+	party int // the remote party's index
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	wmu   sync.Mutex
+
+	bytesIn, bytesOut atomic.Int64
+	frames            atomic.Int64
+
+	inbox    chan frame
+	readErr  error // valid after inbox closes
+	stopPing chan struct{}
+	pingDone sync.WaitGroup
+	timeout  time.Duration
+}
+
+func newPeer(conn net.Conn, remoteParty int, timeout time.Duration) *peer {
+	p := &peer{party: remoteParty, timeout: timeout}
+	p.conn = countConn{Conn: conn, in: &p.bytesIn, out: &p.bytesOut}
+	p.br = bufio.NewReaderSize(p.conn, 64<<10)
+	p.bw = bufio.NewWriterSize(p.conn, 64<<10)
+	p.inbox = make(chan frame, 4)
+	p.stopPing = make(chan struct{})
+	return p
+}
+
+// start launches the reader and heartbeat goroutines; call after the
+// handshake so handshake frames can be read synchronously.
+func (p *peer) start(interval time.Duration) {
+	go p.readLoop()
+	p.pingDone.Add(1)
+	go p.pingLoop(interval)
+}
+
+// readLoop pumps frames into the inbox under a rolling read deadline: any
+// frame (heartbeats included) pushes the deadline out, so a peer is
+// declared dead only after timeout with a silent wire. Heartbeats are
+// swallowed here; everything else is delivered in order.
+func (p *peer) readLoop() {
+	defer close(p.inbox)
+	for {
+		f, err := p.read()
+		if err != nil {
+			p.readErr = err
+			return
+		}
+		if f.typ == fPing {
+			continue
+		}
+		p.inbox <- f
+	}
+}
+
+func (p *peer) pingLoop(interval time.Duration) {
+	defer p.pingDone.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopPing:
+			return
+		case <-t.C:
+			// A failed ping means the conn is broken; the read side will
+			// notice and declare the peer lost, so the error is dropped.
+			if p.write(fPing, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+// read blocks for one frame, refreshing the deadline first.
+func (p *peer) read() (frame, error) {
+	if p.timeout > 0 {
+		if err := p.conn.SetReadDeadline(time.Now().Add(p.timeout)); err != nil {
+			return frame{}, err
+		}
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(p.br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(p.br, body); err != nil {
+		return frame{}, err
+	}
+	p.frames.Add(1)
+	return frame{typ: frameType(hdr[0]), body: body}, nil
+}
+
+// write sends one frame; safe for concurrent use.
+func (p *peer) write(t frameType, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit %d", t, len(body), maxFrame)
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := p.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := p.bw.Write(body); err != nil {
+		return err
+	}
+	p.frames.Add(1)
+	return p.bw.Flush()
+}
+
+// close tears the connection down and stops the heartbeat.
+func (p *peer) close() {
+	select {
+	case <-p.stopPing:
+	default:
+		close(p.stopPing)
+	}
+	p.conn.Close()
+	p.pingDone.Wait()
+}
+
+// ---- body builders/parsers ----
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", nil, errTruncated
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], nil
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return v, data[n:], nil
+}
+
+func readVarint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return v, data[n:], nil
+}
+
+func appendMeta(buf []byte, seq int, meta RoundMeta) []byte {
+	buf = binary.AppendUvarint(buf, uint64(seq))
+	buf = binary.AppendVarint(buf, int64(meta.Round))
+	buf = appendString(buf, meta.Name)
+	return appendString(buf, meta.Phase)
+}
+
+func readMeta(data []byte) (int, RoundMeta, []byte, error) {
+	seq, data, err := readUvarint(data)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	round, data, err := readVarint(data)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	name, data, err := readString(data)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	phase, data, err := readString(data)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	return int(seq), RoundMeta{Round: int(round), Name: name, Phase: phase}, data, nil
+}
+
+// encodeRecords builds an fRecords/fMerged body: seq, meta, then the
+// records with codec-encoded outbox payloads.
+func encodeRecords(c *Codec, seq int, meta RoundMeta, recs []Record) ([]byte, error) {
+	buf := appendMeta(nil, seq, meta)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.AppendVarint(buf, int64(r.Machine))
+		buf = binary.AppendVarint(buf, r.Ops)
+		if r.Started {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendVarint(buf, r.StartNs)
+		buf = binary.AppendVarint(buf, r.EndNs)
+		buf = binary.AppendVarint(buf, r.QueueNs)
+		buf = binary.AppendVarint(buf, int64(r.Failures))
+		buf = binary.AppendVarint(buf, int64(r.Retries))
+		if r.Crashed {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendVarint(buf, int64(r.CrashAttempts))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Msgs)))
+		for _, m := range r.Msgs {
+			buf = binary.AppendVarint(buf, int64(m.To))
+			var err error
+			if buf, err = c.Encode(buf, m.Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// decodeRecords parses an fRecords/fMerged body. Decoded records are
+// flagged Remote; the caller clears the flag on machines it executed
+// itself.
+func decodeRecords(c *Codec, body []byte) (int, RoundMeta, []Record, error) {
+	seq, meta, data, err := readMeta(body)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	count, data, err := readUvarint(data)
+	if err != nil {
+		return 0, RoundMeta{}, nil, err
+	}
+	if count > uint64(len(data))+1 {
+		return 0, RoundMeta{}, nil, fmt.Errorf("transport: record count %d exceeds body", count)
+	}
+	recs := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var r Record
+		var v int64
+		if v, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		r.Machine = int(v)
+		if r.Ops, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		if len(data) < 1 {
+			return 0, RoundMeta{}, nil, errTruncated
+		}
+		r.Started = data[0] == 1
+		data = data[1:]
+		if r.StartNs, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		if r.EndNs, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		if r.QueueNs, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		if v, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		r.Failures = int(v)
+		if v, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		r.Retries = int(v)
+		if len(data) < 1 {
+			return 0, RoundMeta{}, nil, errTruncated
+		}
+		r.Crashed = data[0] == 1
+		data = data[1:]
+		if v, data, err = readVarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		r.CrashAttempts = int(v)
+		var nm uint64
+		if nm, data, err = readUvarint(data); err != nil {
+			return 0, RoundMeta{}, nil, err
+		}
+		if nm > uint64(len(data))+1 {
+			return 0, RoundMeta{}, nil, fmt.Errorf("transport: outbox count %d exceeds body", nm)
+		}
+		r.Msgs = make([]Msg, 0, nm)
+		for j := uint64(0); j < nm; j++ {
+			if v, data, err = readVarint(data); err != nil {
+				return 0, RoundMeta{}, nil, err
+			}
+			var payload any
+			if payload, data, err = c.DecodePrefix(data); err != nil {
+				return 0, RoundMeta{}, nil, err
+			}
+			r.Msgs = append(r.Msgs, Msg{To: int(v), Data: payload})
+		}
+		r.Remote = true
+		recs = append(recs, r)
+	}
+	if len(data) != 0 {
+		return 0, RoundMeta{}, nil, fmt.Errorf("transport: %d trailing bytes after records", len(data))
+	}
+	return seq, meta, recs, nil
+}
+
+func encodeAssign(seq int, ids []int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(seq))
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendVarint(buf, int64(id))
+	}
+	return buf
+}
+
+func decodeAssign(body []byte) (int, []int, error) {
+	seq, data, err := readUvarint(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	count, data, err := readUvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if count > uint64(len(data))+1 {
+		return 0, nil, fmt.Errorf("transport: assign count %d exceeds body", count)
+	}
+	ids := make([]int, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var v int64
+		if v, data, err = readVarint(data); err != nil {
+			return 0, nil, err
+		}
+		ids = append(ids, int(v))
+	}
+	if len(data) != 0 {
+		return 0, nil, fmt.Errorf("transport: %d trailing bytes after assign", len(data))
+	}
+	return int(seq), ids, nil
+}
+
+func encodeWelcome(parties, self int, table []string) []byte {
+	buf := binary.AppendUvarint(nil, ProtocolVersion)
+	buf = binary.AppendUvarint(buf, uint64(parties))
+	buf = binary.AppendUvarint(buf, uint64(self))
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	for _, name := range table {
+		buf = appendString(buf, name)
+	}
+	return buf
+}
+
+func decodeWelcome(body []byte) (version, parties, self int, table []string, err error) {
+	v, data, err := readUvarint(body)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	p, data, err := readUvarint(data)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	s, data, err := readUvarint(data)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	count, data, err := readUvarint(data)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if count > uint64(len(data))+1 {
+		return 0, 0, 0, nil, fmt.Errorf("transport: table count %d exceeds body", count)
+	}
+	table = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var name string
+		if name, data, err = readString(data); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		table = append(table, name)
+	}
+	if len(data) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("transport: %d trailing bytes after welcome", len(data))
+	}
+	return int(v), int(p), int(s), table, nil
+}
+
+func encodeHello() []byte {
+	buf := binary.AppendUvarint(nil, helloMagic)
+	return binary.AppendUvarint(buf, ProtocolVersion)
+}
+
+func decodeHello(body []byte) (version int, err error) {
+	magic, data, err := readUvarint(body)
+	if err != nil {
+		return 0, err
+	}
+	if magic != helloMagic {
+		return 0, fmt.Errorf("transport: bad hello magic %#x", magic)
+	}
+	v, data, err := readUvarint(data)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 0 {
+		return 0, fmt.Errorf("transport: %d trailing bytes after hello", len(data))
+	}
+	return int(v), nil
+}

@@ -1,0 +1,642 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mpcdist/internal/trace"
+)
+
+// Options tune the TCP transport's liveness machinery. The zero value
+// means the defaults below.
+type Options struct {
+	// HeartbeatInterval is how often each side pings an idle connection.
+	HeartbeatInterval time.Duration // default 250ms
+	// PeerTimeout is the rolling read deadline: a peer silent for this
+	// long (no frames, no heartbeats) is declared lost.
+	PeerTimeout time.Duration // default 3s
+	// HandshakeTimeout bounds worker registration (process spawn + dial +
+	// hello/welcome).
+	HandshakeTimeout time.Duration // default 30s
+	// OnEvent, when non-nil, receives transport-level trace events
+	// (handshake, exchange barriers, peer losses, reassignments).
+	OnEvent func(trace.TransportEvent)
+	// TestDieAtSeq, on a worker, terminates the process abruptly at the
+	// start of the given exchange (1-based), before its records ship — a
+	// deterministic stand-in for a mid-round worker crash, used by the
+	// recovery tests. Zero disables.
+	TestDieAtSeq int
+	// TestDieAtParty restricts TestDieAtSeq to the worker holding the
+	// given party index. Zero means every worker it is set on.
+	TestDieAtParty int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 3 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// TestDieExitCode is the exit status of a worker killed by TestDieAtSeq,
+// distinguishable from crashes in test assertions.
+const TestDieExitCode = 3
+
+// ErrShutdown reports an orderly session end: the coordinator told the
+// worker there are no more jobs.
+var ErrShutdown = errors.New("transport: session shut down")
+
+// peerEvent is one inbound occurrence on a worker connection: a frame
+// (ok), or the connection's death (!ok, cause in the peer's readErr).
+type peerEvent struct {
+	w  int // worker index (party w+1)
+	f  frame
+	ok bool
+}
+
+// Coordinator is party 0 of a TCP session: it owns the worker
+// registrations, drives the per-round barrier, detects lost workers, and
+// reassigns their machines mid-round. It implements Transport.
+type Coordinator struct {
+	opts   Options
+	codec  *Codec
+	peers  []*peer
+	alive  []bool
+	events chan peerEvent
+	seq    int
+
+	mu sync.Mutex
+	st Stats
+}
+
+// NewCoordinator accepts and registers exactly `workers` worker processes
+// on ln, handshaking each: the worker's hello (magic + protocol version)
+// is validated, then the welcome ships the protocol version, the party
+// count and the worker's party index, and the payload-codec name table —
+// so the two processes agree on every wire id before any round runs.
+func NewCoordinator(ln net.Listener, workers int, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:   opts,
+		codec:  NewCodec(),
+		events: make(chan peerEvent, 2*workers+4),
+		alive:  make([]bool, workers),
+	}
+	deadline := time.Now().Add(opts.HandshakeTimeout)
+	for i := 0; i < workers; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: waiting for worker %d/%d: %w", i+1, workers, err)
+		}
+		p := newPeer(conn, i+1, opts.PeerTimeout)
+		if err := c.handshake(p, workers, i+1, deadline); err != nil {
+			p.close()
+			c.Close()
+			return nil, err
+		}
+		c.peers = append(c.peers, p)
+		c.alive[i] = true
+	}
+	for i, p := range c.peers {
+		p.start(opts.HeartbeatInterval)
+		go c.pump(i, p)
+	}
+	c.event(trace.TransportEvent{Kind: trace.TransportHandshake, Party: -1, IDs: workers})
+	return c, nil
+}
+
+func (c *Coordinator) handshake(p *peer, workers, party int, deadline time.Time) error {
+	p.conn.SetDeadline(deadline)
+	defer p.conn.SetDeadline(time.Time{})
+	f, err := p.read()
+	if err != nil {
+		return fmt.Errorf("transport: worker %d hello: %w", party, err)
+	}
+	if f.typ != fHello {
+		return fmt.Errorf("transport: worker %d sent %s, want hello", party, f.typ)
+	}
+	v, err := decodeHello(f.body)
+	if err != nil {
+		return fmt.Errorf("transport: worker %d: %w", party, err)
+	}
+	if v != ProtocolVersion {
+		msg := fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", ProtocolVersion, v)
+		p.write(fError, []byte(msg))
+		return errors.New("transport: " + msg)
+	}
+	return p.write(fWelcome, encodeWelcome(workers+1, party, c.codec.Table()))
+}
+
+// pump forwards one peer's inbox into the shared event channel, closing
+// with a death event. It is the only reader of p.inbox.
+func (c *Coordinator) pump(w int, p *peer) {
+	for f := range p.inbox {
+		c.events <- peerEvent{w: w, f: f, ok: true}
+	}
+	c.events <- peerEvent{w: w}
+}
+
+func (c *Coordinator) event(e trace.TransportEvent) {
+	if c.opts.OnEvent == nil {
+		return
+	}
+	e.At = time.Now()
+	e.Bytes = c.Stats().BytesOut
+	c.opts.OnEvent(e)
+}
+
+// Parties implements Transport.
+func (c *Coordinator) Parties() (int, int) { return len(c.peers) + 1, 0 }
+
+// Codec returns the session's payload codec (for encoding job specs and
+// result digests with the same table the round traffic uses).
+func (c *Coordinator) Codec() *Codec { return c.codec }
+
+// markDead declares worker w lost; returns false if it already was.
+func (c *Coordinator) markDead(w int, cause error) bool {
+	if !c.alive[w] {
+		return false
+	}
+	c.alive[w] = false
+	c.mu.Lock()
+	c.st.PeersLost++
+	c.mu.Unlock()
+	c.peers[w].close()
+	c.event(trace.TransportEvent{Kind: trace.TransportPeerLost, Party: w + 1, Seq: c.seq})
+	_ = cause
+	return true
+}
+
+func (c *Coordinator) firstLive() int {
+	for w := range c.peers {
+		if c.alive[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+// StartJob broadcasts an opaque job spec to every live worker. Workers
+// lost here are recovered like mid-round losses: their machines get
+// reassigned at every subsequent exchange.
+func (c *Coordinator) StartJob(job []byte) error {
+	for w := range c.peers {
+		if !c.alive[w] {
+			continue
+		}
+		if err := c.peers[w].write(fJobStart, job); err != nil {
+			c.markDead(w, err)
+		}
+	}
+	return nil
+}
+
+// Exchange implements Transport: gather every party's records for the
+// round, reassigning a lost worker's pending machines to a live worker
+// (or replaying them locally when none remains), then broadcast the
+// merged, machine-sorted round to all live workers — the round barrier.
+func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
+	c.seq++
+	seq := c.seq
+
+	merged := make(map[int]Record, len(local)*2)
+	mine := make(map[int]bool, len(local))
+	for _, r := range local {
+		merged[r.Machine] = r
+		mine[r.Machine] = true
+	}
+
+	// owed[w] tracks machine ids worker w has been asked to execute and
+	// has not delivered; needBarrier[w] tracks its mandatory (possibly
+	// empty) initial records frame.
+	owed := make([]map[int]bool, len(c.peers))
+	needBarrier := make([]bool, len(c.peers))
+	var orphans []int // ids owned by workers already dead at round start
+	for w := range c.peers {
+		owed[w] = make(map[int]bool)
+		var ids []int
+		if w+1 < len(assign) {
+			ids = assign[w+1]
+		}
+		if c.alive[w] {
+			needBarrier[w] = true
+			for _, id := range ids {
+				owed[w][id] = true
+			}
+		} else {
+			orphans = append(orphans, ids...)
+		}
+	}
+
+	// collect pulls the un-delivered ids off a dead worker.
+	collect := func(w int) []int {
+		ids := make([]int, 0, len(owed[w]))
+		for id := range owed[w] {
+			ids = append(ids, id)
+		}
+		owed[w] = make(map[int]bool)
+		needBarrier[w] = false
+		return ids
+	}
+
+	// reassign routes lost machines to the lowest-index live worker,
+	// cascading if that worker dies on send, and falls back to local
+	// replay (exact, by determinism) when no worker remains.
+	reassign := func(ids []int) error {
+		for len(ids) > 0 {
+			sort.Ints(ids)
+			w := c.firstLive()
+			if w < 0 {
+				recs, err := exec(ids)
+				if err != nil {
+					return err
+				}
+				for _, r := range recs {
+					merged[r.Machine] = r
+					mine[r.Machine] = true
+				}
+				c.mu.Lock()
+				c.st.Reassigns++
+				c.mu.Unlock()
+				c.event(trace.TransportEvent{Kind: trace.TransportReassign, Party: 0, Seq: seq, IDs: len(ids)})
+				return nil
+			}
+			if err := c.peers[w].write(fAssign, encodeAssign(seq, ids)); err != nil {
+				if c.markDead(w, err) {
+					ids = append(ids, collect(w)...)
+				}
+				continue
+			}
+			for _, id := range ids {
+				owed[w][id] = true
+			}
+			c.mu.Lock()
+			c.st.Reassigns++
+			c.mu.Unlock()
+			c.event(trace.TransportEvent{Kind: trace.TransportReassign, Party: w + 1, Seq: seq, IDs: len(ids)})
+			return nil
+		}
+		return nil
+	}
+	if err := reassign(orphans); err != nil {
+		return nil, err
+	}
+
+	done := func() bool {
+		for w := range c.peers {
+			if c.alive[w] && (needBarrier[w] || len(owed[w]) > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() {
+		ev := <-c.events
+		if !ev.ok {
+			if c.markDead(ev.w, c.peers[ev.w].readErr) {
+				if err := reassign(collect(ev.w)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		switch ev.f.typ {
+		case fRecords:
+			rseq, rmeta, recs, err := decodeRecords(c.codec, ev.f.body)
+			if err != nil {
+				return nil, fmt.Errorf("transport: worker %d records: %w", ev.w+1, err)
+			}
+			if rseq != seq || rmeta != meta {
+				return nil, &DivergenceError{Seq: rseq, WantSeq: seq, Want: meta, Got: rmeta}
+			}
+			needBarrier[ev.w] = false
+			for _, r := range recs {
+				delete(owed[ev.w], r.Machine)
+				if _, dup := merged[r.Machine]; !dup {
+					merged[r.Machine] = r
+				}
+			}
+		case fError:
+			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
+		default:
+			return nil, fmt.Errorf("transport: unexpected %s frame from worker %d during exchange", ev.f.typ, ev.w+1)
+		}
+	}
+
+	ids := make([]int, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Record, len(ids))
+	for i, id := range ids {
+		r := merged[id]
+		r.Remote = !mine[id]
+		out[i] = r
+	}
+
+	body, err := encodeRecords(c.codec, seq, meta, out)
+	if err != nil {
+		return nil, err
+	}
+	for w := range c.peers {
+		if !c.alive[w] {
+			continue
+		}
+		if err := c.peers[w].write(fMerged, body); err != nil {
+			c.markDead(w, err)
+		}
+	}
+	c.mu.Lock()
+	c.st.Exchanges++
+	c.mu.Unlock()
+	c.event(trace.TransportEvent{Kind: trace.TransportExchange, Party: -1, Seq: seq, IDs: len(out)})
+	return out, nil
+}
+
+// Results gathers the end-of-job result frame from every live worker
+// (nil for workers lost during the job) — the cross-check that every
+// party's deterministic driver landed on the same answer.
+func (c *Coordinator) Results() ([][]byte, error) {
+	out := make([][]byte, len(c.peers))
+	waiting := 0
+	for w := range c.peers {
+		if c.alive[w] {
+			waiting++
+		}
+	}
+	for waiting > 0 {
+		ev := <-c.events
+		if !ev.ok {
+			if c.markDead(ev.w, c.peers[ev.w].readErr) {
+				waiting--
+			}
+			continue
+		}
+		switch ev.f.typ {
+		case fResult:
+			out[ev.w] = ev.f.body
+			waiting--
+		case fError:
+			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
+		default:
+			return nil, fmt.Errorf("transport: unexpected %s frame from worker %d awaiting results", ev.f.typ, ev.w+1)
+		}
+	}
+	return out, nil
+}
+
+// Alive reports how many workers are still responding.
+func (c *Coordinator) Alive() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown ends the session in order: every live worker is told there are
+// no more jobs, then the connections close.
+func (c *Coordinator) Shutdown() {
+	for w := range c.peers {
+		if c.alive[w] {
+			c.peers[w].write(fShutdown, nil)
+		}
+	}
+	c.Close()
+}
+
+// Stats implements Transport.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	st := c.st
+	c.mu.Unlock()
+	for _, p := range c.peers {
+		st.BytesIn += p.bytesIn.Load()
+		st.BytesOut += p.bytesOut.Load()
+		st.Frames += p.frames.Load()
+	}
+	return st
+}
+
+// Close implements Transport.
+func (c *Coordinator) Close() error {
+	for _, p := range c.peers {
+		p.close()
+	}
+	return nil
+}
+
+// Worker is party 1..n-1 of a TCP session: it registers with the
+// coordinator, receives job specs, executes its share of each round, and
+// adopts the coordinator's merged view at every barrier. It implements
+// Transport.
+type Worker struct {
+	opts    Options
+	p       *peer
+	codec   *Codec
+	parties int
+	self    int
+	seq     int
+
+	mu sync.Mutex
+	st Stats
+}
+
+// DialWorker connects to a coordinator and completes the registration
+// handshake, adopting the coordinator's payload-codec table.
+func DialWorker(addr string, opts Options) (*Worker, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.HandshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing coordinator: %w", err)
+	}
+	p := newPeer(conn, 0, opts.PeerTimeout)
+	p.conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+	if err := p.write(fHello, encodeHello()); err != nil {
+		p.close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	f, err := p.read()
+	if err != nil {
+		p.close()
+		return nil, fmt.Errorf("transport: awaiting welcome: %w", err)
+	}
+	if f.typ == fError {
+		p.close()
+		return nil, fmt.Errorf("transport: coordinator rejected registration: %s", f.body)
+	}
+	if f.typ != fWelcome {
+		p.close()
+		return nil, fmt.Errorf("transport: coordinator sent %s, want welcome", f.typ)
+	}
+	version, parties, self, table, err := decodeWelcome(f.body)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	if version != ProtocolVersion {
+		p.close()
+		return nil, fmt.Errorf("transport: protocol version mismatch: worker %d, coordinator %d", ProtocolVersion, version)
+	}
+	codec, err := NewCodecFor(table)
+	if err != nil {
+		p.write(fError, []byte(err.Error()))
+		p.close()
+		return nil, err
+	}
+	p.conn.SetDeadline(time.Time{})
+	p.start(opts.HeartbeatInterval)
+	return &Worker{opts: opts, p: p, codec: codec, parties: parties, self: self}, nil
+}
+
+// Parties implements Transport.
+func (w *Worker) Parties() (int, int) { return w.parties, w.self }
+
+// Codec returns the table-synchronized payload codec adopted from the
+// coordinator's welcome.
+func (w *Worker) Codec() *Codec { return w.codec }
+
+// NextJob blocks for the next job spec. It returns ErrShutdown on an
+// orderly session end and *PeerLossError if the coordinator vanishes.
+func (w *Worker) NextJob() ([]byte, error) {
+	f, ok := <-w.p.inbox
+	if !ok {
+		return nil, &PeerLossError{Party: 0, Cause: w.p.readErr}
+	}
+	switch f.typ {
+	case fJobStart:
+		return f.body, nil
+	case fShutdown:
+		return nil, ErrShutdown
+	case fError:
+		return nil, fmt.Errorf("transport: coordinator: %s", f.body)
+	default:
+		return nil, fmt.Errorf("transport: unexpected %s frame awaiting job", f.typ)
+	}
+}
+
+// Exchange implements Transport: ship this party's records, serve any
+// mid-round reassignments (a lost peer's machines, re-executed here by
+// exact replay), and block at the barrier until the coordinator's merged
+// round arrives. The merged frame's sequence number and round metadata
+// must match this party's own — the SPMD divergence check.
+func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
+	w.seq++
+	seq := w.seq
+	if w.opts.TestDieAtSeq > 0 && seq == w.opts.TestDieAtSeq &&
+		(w.opts.TestDieAtParty == 0 || w.opts.TestDieAtParty == w.self) {
+		// Deterministic mid-round crash for the recovery tests: vanish
+		// without ceremony, exactly like a killed worker process.
+		os.Exit(TestDieExitCode)
+	}
+	mine := make(map[int]bool, len(local))
+	for _, r := range local {
+		mine[r.Machine] = true
+	}
+	body, err := encodeRecords(w.codec, seq, meta, local)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.write(fRecords, body); err != nil {
+		return nil, &PeerLossError{Party: 0, Cause: err}
+	}
+	for {
+		f, ok := <-w.p.inbox
+		if !ok {
+			return nil, &PeerLossError{Party: 0, Cause: w.p.readErr}
+		}
+		switch f.typ {
+		case fAssign:
+			aseq, ids, err := decodeAssign(f.body)
+			if err != nil {
+				return nil, err
+			}
+			if aseq != seq {
+				return nil, &DivergenceError{Seq: aseq, WantSeq: seq, Want: meta, Got: meta}
+			}
+			recs, err := exec(ids)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range recs {
+				mine[r.Machine] = true
+			}
+			body, err := encodeRecords(w.codec, seq, meta, recs)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.p.write(fRecords, body); err != nil {
+				return nil, &PeerLossError{Party: 0, Cause: err}
+			}
+			w.mu.Lock()
+			w.st.Reassigns++
+			w.mu.Unlock()
+		case fMerged:
+			mseq, mmeta, recs, err := decodeRecords(w.codec, f.body)
+			if err != nil {
+				return nil, err
+			}
+			if mseq != seq || mmeta != meta {
+				derr := &DivergenceError{Seq: mseq, WantSeq: seq, Want: meta, Got: mmeta}
+				w.p.write(fError, []byte(derr.Error()))
+				return nil, derr
+			}
+			for i := range recs {
+				if mine[recs[i].Machine] {
+					recs[i].Remote = false
+				}
+			}
+			w.mu.Lock()
+			w.st.Exchanges++
+			w.mu.Unlock()
+			return recs, nil
+		case fShutdown:
+			return nil, ErrShutdown
+		case fError:
+			return nil, fmt.Errorf("transport: coordinator: %s", f.body)
+		default:
+			return nil, fmt.Errorf("transport: unexpected %s frame during exchange", f.typ)
+		}
+	}
+}
+
+// FinishJob ships the worker's end-of-job result digest for the
+// coordinator's cross-check.
+func (w *Worker) FinishJob(result []byte) error {
+	return w.p.write(fResult, result)
+}
+
+// Stats implements Transport.
+func (w *Worker) Stats() Stats {
+	w.mu.Lock()
+	st := w.st
+	w.mu.Unlock()
+	st.BytesIn = w.p.bytesIn.Load()
+	st.BytesOut = w.p.bytesOut.Load()
+	st.Frames = w.p.frames.Load()
+	return st
+}
+
+// Close implements Transport.
+func (w *Worker) Close() error {
+	w.p.close()
+	return nil
+}

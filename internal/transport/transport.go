@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"fmt"
+)
+
+// Msg is one addressed message in a machine's outbox. Data is the payload
+// value, opaque to this package (internal/mpc asserts it back to
+// mpc.Payload); on the wire it travels through the self-describing codec.
+type Msg struct {
+	To   int
+	Data any
+}
+
+// Record is the execution record of one machine in one round: everything a
+// peer needs to reproduce the round's statistics and shuffle exactly as if
+// it had executed the machine itself. The deterministic fields (Ops, the
+// outbox, the fault counters) are pure functions of (seed, round, machine,
+// inputs), so a record is identical no matter which party produced it —
+// the property mid-round reassignment relies on.
+type Record struct {
+	Machine int
+	// Ops is the machine's elementary-operation count.
+	Ops int64
+	// Started reports whether the final attempt actually executed (false
+	// when the machine was cancelled, or crashed before every execution).
+	Started bool
+	// StartNs/EndNs delimit execution relative to the executing party's
+	// round base; QueueNs is the time spent waiting for an execution slot.
+	// Wall-clock, advisory: they feed Elapsed/QueueWait/Skew, never the
+	// deterministic counters.
+	StartNs, EndNs, QueueNs int64
+	// Failures and Retries count the injected faults the machine hit and
+	// the replays that recovered them — deterministic under a fault plan.
+	Failures, Retries int
+	// Crashed marks a machine that exhausted its replay budget; every
+	// party sees the same flag post-merge and fails the round identically.
+	Crashed       bool
+	CrashAttempts int
+	// Remote marks a record received over the wire rather than produced
+	// in-process (the receiver replays observer events for these).
+	Remote bool
+	// Msgs is the machine's outbox in emission order.
+	Msgs []Msg
+}
+
+// RoundMeta identifies one exchange. Both ends of a TCP connection derive
+// it independently from the same deterministic driver; the transport
+// cross-checks the two views (plus an internal monotonic sequence number)
+// on every exchange, so any divergence between coordinator and worker is
+// detected at the next round barrier instead of corrupting results.
+type RoundMeta struct {
+	Round int    // cluster-local round index
+	Name  string // round label
+	Phase string // paper phase (trace.Phase, carried as a string)
+}
+
+// ExecFunc re-executes the given machine ids and returns their records, in
+// id order. Execution is exact replay — internal/mpc binds the round's
+// inputs, seed, and fault plan into the closure — which is what lets a
+// peer's lost work be re-run anywhere mid-round.
+type ExecFunc func(ids []int) ([]Record, error)
+
+// Transport is the pluggable shuffle: it decides how many parties execute
+// a round and moves execution records between them.
+//
+// The contract is SPMD all-gather: every party runs the same deterministic
+// driver, executes the machines assigned to it (assign[self], computed
+// identically everywhere), and calls Exchange with its own records.
+// Exchange returns the full round — the union of every party's records,
+// sorted by machine id — so each party's driver can continue as if it had
+// executed everything.
+type Transport interface {
+	// Parties returns the fixed party count and this party's index in
+	// [0, n); index 0 is the coordinator.
+	Parties() (n, self int)
+	// Exchange all-gathers one round's records. assign is the full
+	// partition (assign[p] = ids party p executes), local holds this
+	// party's records, and exec replays machines on demand — the recovery
+	// path when a peer is lost mid-round.
+	Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error)
+	// Stats reports cumulative transport-level counters (bytes on wire,
+	// peer losses, reassignments). Advisory: never part of the model
+	// quantities.
+	Stats() Stats
+	Close() error
+}
+
+// Stats are cumulative transport counters. All host-level: a run's
+// deterministic model counters are identical whatever these say.
+type Stats struct {
+	BytesOut  int64 // bytes written to the wire
+	BytesIn   int64 // bytes read from the wire
+	Frames    int64 // frames sent + received
+	Exchanges int   // completed Exchange calls
+	PeersLost int   // peers declared dead (conn error or heartbeat timeout)
+	Reassigns int   // machine batches re-executed after a peer loss
+}
+
+// Local is the in-process transport: a single party executes everything
+// and Exchange is the identity. This is the seed simulator's shuffle,
+// preserved bit-identically (internal/mpc treats a nil Transport as
+// Local).
+type Local struct{}
+
+// Parties implements Transport.
+func (Local) Parties() (int, int) { return 1, 0 }
+
+// Exchange implements Transport: with one party, local is the round.
+func (Local) Exchange(_ RoundMeta, _ [][]int, local []Record, _ ExecFunc) ([]Record, error) {
+	return local, nil
+}
+
+// Stats implements Transport.
+func (Local) Stats() Stats { return Stats{} }
+
+// Close implements Transport.
+func (Local) Close() error { return nil }
+
+// PeerLossError reports a peer (worker or coordinator) that stopped
+// responding — connection error or heartbeat deadline exceeded — when the
+// exchange could not complete without it. Mid-round worker losses are
+// normally recovered by reassignment and never surface as errors; a
+// worker that loses its coordinator, or a coordinator that cannot re-run
+// the lost work, cannot recover.
+type PeerLossError struct {
+	Party int   // the lost peer's party index
+	Cause error // the underlying read/write error, if any
+}
+
+func (e *PeerLossError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("transport: lost party %d: %v", e.Party, e.Cause)
+	}
+	return fmt.Sprintf("transport: lost party %d", e.Party)
+}
+
+func (e *PeerLossError) Unwrap() error { return e.Cause }
+
+// DivergenceError reports an SPMD consistency violation: two parties
+// arrived at the same exchange with different round metadata, which means
+// their deterministic drivers took different paths (diverged binaries,
+// seeds, or inputs). There is no recovery; the job is unsound.
+type DivergenceError struct {
+	Seq       int
+	Want, Got RoundMeta
+	WantSeq   int
+}
+
+func (e *DivergenceError) Error() string {
+	if e.WantSeq != e.Seq {
+		return fmt.Sprintf("transport: exchange sequence diverged: local %d, peer %d (round %q vs %q)",
+			e.WantSeq, e.Seq, e.Want.Name, e.Got.Name)
+	}
+	return fmt.Sprintf("transport: round metadata diverged at exchange %d: local (round %d %q phase %q), peer (round %d %q phase %q)",
+		e.Seq, e.Want.Round, e.Want.Name, e.Want.Phase, e.Got.Round, e.Got.Name, e.Got.Phase)
+}
