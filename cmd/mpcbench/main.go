@@ -54,13 +54,22 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
 	transport := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
 	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
+	telemetry := flag.Bool("telemetry", false, "ship worker trace events during -transport tcp runs (counters must be unaffected)")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries,
-		Transport: *transport, Workers: *workers}
+		Transport: *transport, Workers: *workers, Telemetry: *telemetry}
+	if *telemetry && *transport != "tcp" {
+		fmt.Fprintln(os.Stderr, "mpcbench: -telemetry requires -transport tcp")
+		os.Exit(2)
+	}
 	if *transport == "tcp" {
-		fmt.Fprintf(os.Stderr, "mpcbench: running over tcp with %d workers (deterministic counters must still match a local baseline)\n", *workers)
+		mode := ""
+		if *telemetry {
+			mode = ", telemetry on"
+		}
+		fmt.Fprintf(os.Stderr, "mpcbench: running over tcp with %d workers%s (deterministic counters must still match a local baseline)\n", *workers, mode)
 	}
 	if cfg.Faults != nil {
 		fmt.Fprintf(os.Stderr, "mpcbench: fault injection active: %s (failures/retries will be nonzero; compare against a faulted baseline)\n", cfg.Faults)

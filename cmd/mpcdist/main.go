@@ -51,6 +51,7 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
 	transportName := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
 	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
+	statusAddr := flag.String("status", "", "serve a live JSON session snapshot at this address (host:port; -transport tcp only)")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -66,6 +67,9 @@ func main() {
 		}
 	default:
 		die("unknown -transport %q (want local or tcp)", *transportName)
+	}
+	if *statusAddr != "" && *transportName != "tcp" {
+		die("-status requires -transport tcp")
 	}
 
 	a := input(*aStr, *aFile)
@@ -83,9 +87,15 @@ func main() {
 	if *traceOut != "" {
 		switch *algo {
 		case "mpc", "hss", "ulam-mpc":
-			chromeTrace = trace.NewChrome()
-			tracePath = *traceOut
-			p.Observer = chromeTrace
+			if *transportName == "tcp" {
+				// Distributed runs ship telemetry from every worker and write
+				// one merged multi-process trace (see runMPC); an in-process
+				// Chrome observer would only see the coordinator's view.
+			} else {
+				chromeTrace = trace.NewChrome()
+				tracePath = *traceOut
+				p.Observer = chromeTrace
+			}
 		default:
 			die("-trace requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
 		}
@@ -134,14 +144,14 @@ func main() {
 		}
 		fmt.Print(editdist.FormatAlignment(a, b, script, 72))
 	case "mpc":
-		res, err := runMPC(dist.AlgoEditMPC, p, a, b, nil, nil, *transportName, *workers,
+		res, err := runMPC(dist.AlgoEditMPC, p, a, b, nil, nil, *transportName, *workers, *traceOut, *statusAddr,
 			func() (core.Result, error) { return core.EditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
 			verifyEdit(a, b, res.Value)
 		}
 	case "hss":
-		res, err := runMPC(dist.AlgoEditHSS, p, a, b, nil, nil, *transportName, *workers,
+		res, err := runMPC(dist.AlgoEditHSS, p, a, b, nil, nil, *transportName, *workers, *traceOut, *statusAddr,
 			func() (core.Result, error) { return baseline.HSSEditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
@@ -152,7 +162,7 @@ func main() {
 		fmt.Println(ulam.Exact(ia, ib, &ops))
 	case "ulam-mpc":
 		ia, ib := distinctInts(a), distinctInts(b)
-		res, err := runMPC(dist.AlgoUlamMPC, p, nil, nil, ia, ib, *transportName, *workers,
+		res, err := runMPC(dist.AlgoUlamMPC, p, nil, nil, ia, ib, *transportName, *workers, *traceOut, *statusAddr,
 			func() (core.Result, error) { return core.UlamMPC(ia, ib, p) })
 		report(res, err, *verbose)
 		if *verify {
@@ -173,22 +183,53 @@ func main() {
 // processes and runs the same job across them (printing the bytes that
 // actually crossed the wire). The two paths produce bit-identical results
 // and model counters for the same seed.
+//
+// On tcp, traceOut enables the telemetry plane — every worker ships its
+// buffered events at round barriers and the merged multi-process trace is
+// written after the run — and statusAddr serves a live JSON snapshot of
+// the session over HTTP while the job runs.
 func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName string, workers int,
-	local func() (core.Result, error)) (core.Result, error) {
+	traceOut, statusAddr string, local func() (core.Result, error)) (core.Result, error) {
 	if transportName != "tcp" {
 		return local()
 	}
 	job := dist.FromParams(algo, p)
 	job.S, job.T, job.P, job.Q = s, t, pa, qa
-	sess, err := dist.NewSession(dist.SessionOptions{Workers: workers, Observer: p.Observer})
+	sess, err := dist.NewSession(dist.SessionOptions{
+		Workers:   workers,
+		Observer:  p.Observer,
+		Telemetry: traceOut != "",
+	})
 	if err != nil {
 		return core.Result{}, err
 	}
 	defer sess.Close()
+	if statusAddr != "" {
+		srv, serr := dist.StartStatus(statusAddr, func() any { return sess.Status() })
+		if serr != nil {
+			return core.Result{}, serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mpcdist: status endpoint at http://%s/status\n", srv.Addr)
+	}
 	res, err := sess.Run(job)
 	st := sess.Stats()
 	fmt.Fprintf(os.Stderr, "mpcdist: transport=tcp workers=%d/%d wire: out=%dB in=%dB frames=%d exchanges=%d peersLost=%d reassigns=%d\n",
 		sess.Alive(), sess.Workers(), st.BytesOut, st.BytesIn, st.Frames, st.Exchanges, st.PeersLost, st.Reassigns)
+	if traceOut != "" {
+		// Write the trace even after a failed run — the lanes up to the
+		// failure are exactly what one wants to look at.
+		ct, terr := sess.ClusterTrace()
+		if terr == nil {
+			terr = traceio.WriteFile(traceOut, ct)
+		}
+		if terr != nil && err == nil {
+			return res, terr
+		}
+		if terr == nil {
+			fmt.Fprintf(os.Stderr, "mpcdist: wrote merged cluster trace to %s (open in Perfetto or chrome://tracing)\n", traceOut)
+		}
+	}
 	return res, err
 }
 

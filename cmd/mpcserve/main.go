@@ -34,6 +34,14 @@
 //	-shed-wait 0     also shed after queueing this long (off by default)
 //	-fault-*         inject the deterministic fault schedule of
 //	                 internal/fault into MPC queries (testing/chaos)
+//
+// Distributed mode: -transport tcp -workers N re-execs this binary N
+// times as cluster workers and routes eligible MPC queries (ulam-mpc,
+// edit-mpc, edit-hss; non-trace) across them. Answers gain
+// "distributed": true plus per-worker report rows, and /metrics gains
+// mpcserve_transport_* (live wire/liveness gauges) and mpcserve_worker_*
+// (per-party attribution counters) series. Distances and deterministic
+// report counters are bit-identical to local mode.
 package main
 
 import (
@@ -49,11 +57,31 @@ import (
 	"syscall"
 	"time"
 
+	"mpcdist"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/server"
+	"mpcdist/internal/transport"
 )
 
+// distSession adapts a dist.Session to the server's DistRunner seam. The
+// session serializes jobs internally, so concurrent pool workers may call
+// Run directly.
+type distSession struct{ sess *dist.Session }
+
+func (d *distSession) Run(algo string, s, t []byte, p, q []int, params mpcdist.MPCParams) (mpcdist.MPCResult, error) {
+	job := dist.FromParams(algo, params)
+	job.S, job.T, job.P, job.Q = s, t, p, q
+	return d.sess.Run(job)
+}
+
+func (d *distSession) Status() transport.Status { return d.sess.Status() }
+
 func main() {
+	// Worker re-exec: when spawned by a tcp-session parent this process is
+	// a cluster worker, not a server; MaybeWorkerMain never returns then.
+	dist.MaybeWorkerMain()
+
 	addr := flag.String("addr", ":8080", "listen address")
 	pool := flag.Int("pool", 0, "max concurrently executing kernels (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 4096, "LRU result-cache capacity in answers (negative = off)")
@@ -68,6 +96,8 @@ func main() {
 	shedWait := flag.Duration("shed-wait", 0, "shed with 429 after queueing this long for a pool slot (0 = off)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After value on 429 responses")
 	maxRetries := flag.Int("max-retries", 0, "MPC fault-recovery budget per machine-round/message (0 = default)")
+	transportName := flag.String("transport", "local", "MPC execution transport: local (in-process) or tcp (worker cluster)")
+	workers := flag.Int("workers", 3, "worker processes for -transport tcp")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -83,6 +113,21 @@ func main() {
 		log.Fatalf("mpcserve: -log must be text, json, or off (got %q)", *logFormat)
 	}
 
+	var distRunner server.DistRunner
+	switch *transportName {
+	case "local":
+	case "tcp":
+		sess, err := dist.NewSession(dist.SessionOptions{Workers: *workers})
+		if err != nil {
+			log.Fatalf("mpcserve: starting worker cluster: %v", err)
+		}
+		defer sess.Close()
+		distRunner = &distSession{sess: sess}
+		log.Printf("mpcserve: distributed mode: %d worker processes (MPC queries run on the cluster)", *workers)
+	default:
+		log.Fatalf("mpcserve: -transport must be local or tcp (got %q)", *transportName)
+	}
+
 	srv := server.New(server.Config{
 		PoolSize:       *pool,
 		CacheSize:      *cache,
@@ -96,6 +141,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		Faults:         faultPlan(),
 		MaxRetries:     *maxRetries,
+		Dist:           distRunner,
 	})
 	if p := faultPlan(); p != nil {
 		log.Printf("mpcserve: fault injection active: %s", p)

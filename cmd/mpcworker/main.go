@@ -5,9 +5,13 @@
 // machine reachable over TCP:
 //
 //	mpcworker -addr 127.0.0.1:4732
+//	mpcworker -addr 127.0.0.1:4732 -status 127.0.0.1:8082
 //
 // The worker registers with the coordinator, executes its share of every
-// round's machines, and exits when the session shuts down.
+// round's machines, and exits when the session shuts down. With -status it
+// also serves a live JSON snapshot of its view of the session (exchange
+// progress, coordinator-link wire counters, heartbeat RTT) at
+// http://ADDR/status for the session's lifetime.
 package main
 
 import (
@@ -21,11 +25,12 @@ import (
 func main() {
 	dist.MaybeWorkerMain()
 	addr := flag.String("addr", "", "coordinator address (host:port) to join")
+	statusAddr := flag.String("status", "", "serve a live JSON worker snapshot at this address (host:port)")
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "mpcworker: -addr is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(dist.WorkerMain(*addr))
+	os.Exit(dist.WorkerMainStatus(*addr, *statusAddr))
 }

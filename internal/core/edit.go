@@ -140,6 +140,19 @@ func aggregateReports(reps []mpc.Report) mpc.Report {
 		out.Failures += r.Failures
 		out.Retries += r.Retries
 		out.Rounds = append(out.Rounds, r.Rounds...)
+		for _, w := range r.Workers {
+			for len(out.Workers) <= w.Party {
+				out.Workers = append(out.Workers, mpc.WorkerStats{Party: len(out.Workers)})
+			}
+			ow := &out.Workers[w.Party]
+			ow.MachineRounds += w.MachineRounds
+			ow.Ops += w.Ops
+			ow.CommWords += w.CommWords
+			ow.QueueWait += w.QueueWait
+			ow.Failures += w.Failures
+			ow.Retries += w.Retries
+			ow.WireBytes += w.WireBytes
+		}
 	}
 	return out
 }

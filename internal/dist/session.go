@@ -34,6 +34,11 @@ type SessionOptions struct {
 	WorkerEnv []string
 	// Transport tunes the TCP liveness machinery (zero = defaults).
 	Transport transport.Options
+	// Telemetry asks every party to buffer its trace events and ship them
+	// to the coordinator at round barriers; the merged stream is available
+	// from ClusterTrace after runs. Out-of-band: results and deterministic
+	// counters are bit-identical with or without it.
+	Telemetry bool
 }
 
 // Session is a running distributed cluster: this process is the
@@ -46,6 +51,15 @@ type Session struct {
 	ln   net.Listener
 	cmds []*exec.Cmd
 	opts SessionOptions
+
+	// obs is the driver observer Run attaches: the caller's Observer,
+	// multiplexed with the session's own collector when telemetry is on.
+	obs trace.Observer
+	// tel buffers the coordinator's own trace events (party 0's lane of
+	// the merged trace); batches accumulates drained telemetry from every
+	// party across jobs, consumed by ClusterTrace.
+	tel     *trace.Collector
+	batches []trace.Telemetry
 }
 
 // NewSession listens on a loopback port, re-execs this binary Workers
@@ -80,8 +94,17 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		}
 		s.cmds = append(s.cmds, cmd)
 	}
+	s.obs = opts.Observer
+	if opts.Telemetry {
+		s.tel = &trace.Collector{}
+		s.obs = trace.Multi(opts.Observer, s.tel)
+	}
 	topts := opts.Transport
-	if to, ok := opts.Observer.(trace.TransportObserver); ok && to != nil {
+	topts.Telemetry = opts.Telemetry
+	// trace.Multi forwards transport events to every member implementing
+	// TransportObserver, so this assertion holds for the combined observer
+	// whenever any member wants them.
+	if to, ok := s.obs.(trace.TransportObserver); ok && to != nil {
 		topts.OnEvent = to.Transport
 	}
 	co, err := transport.NewCoordinator(ln, opts.Workers, topts)
@@ -109,10 +132,13 @@ func (s *Session) Run(job Job) (core.Result, error) {
 	if err := s.co.StartJob(jb); err != nil {
 		return core.Result{}, err
 	}
+	// Per-peer wire counters at job start, so the job's traffic can be
+	// attributed to the report's per-worker rows as a delta.
+	base := s.co.PeerStats()
 	host := core.Params{
 		Parallelism: s.opts.Parallelism,
 		Ctx:         s.opts.Ctx,
-		Observer:    s.opts.Observer,
+		Observer:    s.obs,
 		Transport:   s.co,
 	}
 	res, rerr := runJob(job, host)
@@ -123,6 +149,8 @@ func (s *Session) Run(job Job) (core.Result, error) {
 		return res, rerr
 	}
 	digests, gerr := s.co.Results()
+	s.batches = append(s.batches, s.co.DrainTelemetry()...)
+	s.fillWireBytes(&res, base)
 	if gerr != nil {
 		return res, gerr
 	}
@@ -150,6 +178,29 @@ func isTransportErr(err error) bool {
 	return errors.As(err, &d) || errors.As(err, &p) || errors.Is(err, transport.ErrShutdown)
 }
 
+// fillWireBytes stamps the report's per-worker rows with each party's
+// connection traffic during the job (coordinator's view; the coordinator
+// row gets the sum over all links). Advisory, like everything wall-clock.
+func (s *Session) fillWireBytes(res *core.Result, base []transport.PeerStats) {
+	if len(res.Report.Workers) == 0 {
+		return
+	}
+	cur := s.co.PeerStats()
+	var total int64
+	for i := range cur {
+		d := cur[i].BytesIn + cur[i].BytesOut
+		if i < len(base) {
+			d -= base[i].BytesIn + base[i].BytesOut
+		}
+		total += d
+		p := cur[i].Party
+		if p < len(res.Report.Workers) {
+			res.Report.Workers[p].WireBytes = d
+		}
+	}
+	res.Report.Workers[0].WireBytes = total
+}
+
 // Workers reports how many workers the session started with.
 func (s *Session) Workers() int { return s.opts.Workers }
 
@@ -159,6 +210,49 @@ func (s *Session) Alive() int { return s.co.Alive() }
 // Stats reports the coordinator's transport counters (bytes on the wire,
 // frames, exchanges, losses, reassignments).
 func (s *Session) Stats() transport.Stats { return s.co.Stats() }
+
+// PeerStats reports per-worker wire counters and heartbeat RTT estimates
+// (entry i is party i+1).
+func (s *Session) PeerStats() []transport.PeerStats { return s.co.PeerStats() }
+
+// Status snapshots the coordinator's live view of the session for the
+// -status endpoint. Safe to call from any goroutine.
+func (s *Session) Status() transport.Status { return s.co.Status() }
+
+// ClusterTrace merges everything the session has observed so far — the
+// coordinator's own trace events, the telemetry workers shipped at round
+// barriers, and a synthetic per-peer counter snapshot — into one
+// multi-process Perfetto trace. Requires SessionOptions.Telemetry; call
+// after Run (and before Close, which tears the peers down).
+func (s *Session) ClusterTrace() (*trace.ClusterTrace, error) {
+	if s.tel == nil {
+		return nil, fmt.Errorf("dist: session started without Telemetry")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, s.co.DrainTelemetry()...)
+	if t, ok := s.tel.DrainTelemetry(); ok {
+		t.Party, t.OffsetNs = 0, 0
+		s.batches = append(s.batches, t)
+	}
+	// One synthetic peer-stats instant per worker closes the transport
+	// lane with final wire counters and heartbeat RTT p99.
+	now := time.Now().UnixNano()
+	var ps trace.Telemetry
+	for _, p := range s.co.PeerStats() {
+		ps.Events = append(ps.Events, trace.TeleTransport{
+			Kind:  trace.TransportPeerStats,
+			Party: p.Party,
+			Bytes: p.BytesIn + p.BytesOut,
+			RTTNs: int64(p.RTTP99),
+			AtNs:  now,
+		})
+	}
+	if len(ps.Events) > 0 {
+		s.batches = append(s.batches, ps)
+	}
+	return trace.BuildClusterTrace(s.batches), nil
+}
 
 // Close shuts the session down in order: tell workers there are no more
 // jobs, close the connections, and reap the worker processes (killing any

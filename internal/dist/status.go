@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// StartStatus serves a live JSON status snapshot over HTTP at addr
+// (":8081" style): GET /status — and / as a convenience — returns
+// snap()'s JSON encoding, recomputed per request, so `watch curl
+// localhost:8081/status` follows a running session. The returned server
+// is already listening; Close it to stop.
+//
+// snap typically returns a transport.Status (coordinator or worker view).
+// Everything served is advisory host-level state; the endpoint never
+// influences the deterministic run.
+func StartStatus(addr string, snap func() any) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: status listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(snap()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/status", serve)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		serve(w, r)
+	})
+	// Addr carries the bound address back to the caller (useful with
+	// ":0"-style requests, where the kernel picks the port).
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, nil
+}

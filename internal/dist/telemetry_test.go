@@ -1,0 +1,245 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
+)
+
+// clusterTraceFile decodes the merged trace far enough to assert on lanes.
+type clusterTraceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeClusterTrace(t *testing.T, ct *trace.ClusterTrace) clusterTraceFile {
+	t.Helper()
+	raw, err := ct.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file clusterTraceFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	return file
+}
+
+// processNames extracts pid -> process_name from the metadata events.
+func processNames(file clusterTraceFile) map[int]string {
+	names := map[int]string{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names[ev.Pid], _ = ev.Args["name"].(string)
+		}
+	}
+	return names
+}
+
+// TestTelemetryParity is the tentpole's hard invariant: running the same
+// jobs over TCP with telemetry shipping enabled must produce bit-identical
+// deterministic results — versus the local run AND versus a telemetry-off
+// TCP run — while the session accumulates a merged multi-process trace
+// with one lane per party plus the transport lane.
+func TestTelemetryParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	on, err := NewSession(SessionOptions{Workers: 3, Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	off, err := NewSession(SessionOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+
+	for _, job := range parityJobs() {
+		local, lerr := runLocal(job)
+		ron, eon := on.Run(job)
+		roff, eoff := off.Run(job)
+		checkParity(t, job.Algo+"/telemetry-on", local, lerr, ron, eon)
+		checkParity(t, job.Algo+"/telemetry-off", local, lerr, roff, eoff)
+		if !reflect.DeepEqual(normalize(ron), normalize(roff)) {
+			t.Errorf("%s: telemetry changed the deterministic result:\non:  %+v\noff: %+v",
+				job.Algo, normalize(ron), normalize(roff))
+		}
+	}
+
+	// Per-worker rows: advisory, but deterministic in the model fields —
+	// every machine-round must be attributed to exactly one party.
+	rep := func() (sum int) {
+		res, err := on.Run(parityJobs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Report.Workers) != 4 {
+			t.Fatalf("Workers rows = %d, want 4 (coordinator + 3 workers)", len(res.Report.Workers))
+		}
+		total := 0
+		for _, w := range res.Report.Workers {
+			total += w.MachineRounds
+		}
+		var machineRounds int
+		for _, r := range res.Report.Rounds {
+			machineRounds += r.Machines
+		}
+		if total != machineRounds {
+			t.Errorf("per-worker MachineRounds sum to %d, want %d", total, machineRounds)
+		}
+		if res.Report.Workers[0].WireBytes == 0 {
+			t.Error("coordinator row has no wire traffic recorded")
+		}
+		return total
+	}
+	rep()
+
+	ct, err := on.ClusterTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := decodeClusterTrace(t, ct)
+	names := processNames(file)
+	want := map[int]string{
+		0: "coordinator (party 0)",
+		1: "worker (party 1)",
+		2: "worker (party 2)",
+		3: "worker (party 3)",
+		4: "transport",
+	}
+	for pid, name := range want {
+		if names[pid] != name {
+			t.Errorf("trace lane %d named %q, want %q (lanes: %v)", pid, names[pid], name, names)
+		}
+	}
+	spans := map[int]int{} // pid -> machine spans
+	for _, ev := range file.TraceEvents {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("negative time in merged trace: %+v", ev)
+		}
+		if ev.Ph == "X" && ev.Tid > 0 && ev.Pid <= 3 {
+			spans[ev.Pid]++
+		}
+	}
+	for pid := 0; pid <= 3; pid++ {
+		if spans[pid] == 0 {
+			t.Errorf("party %d shipped no machine spans", pid)
+		}
+	}
+
+	// The telemetry-off session must refuse to build a trace.
+	if _, err := off.ClusterTrace(); err == nil {
+		t.Error("ClusterTrace succeeded on a telemetry-off session")
+	}
+}
+
+// TestTelemetryWorkerDeath kills worker party 2 at its second exchange
+// with telemetry on: the result must still be bit-identical, the events
+// the worker shipped before dying must appear in its lane, and the
+// recovery must be visible as a reassignment instant on the transport
+// lane.
+func TestTelemetryWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	// edit-mpc: by exchange 2 every party still owns machines, so the death
+	// forces real reassignments (ulam's later exchanges are single-machine).
+	job := parityJobs()[1]
+	local, lerr := runLocal(job)
+	sess, err := NewSession(SessionOptions{
+		Workers:   2,
+		Telemetry: true,
+		Stderr:    io.Discard,
+		WorkerEnv: []string{EnvWorkerDieSeq + "=2", EnvWorkerDieParty + "=2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	distr, derr := sess.Run(job)
+	checkParity(t, "edit-mpc/telemetry-worker-kill", local, lerr, distr, derr)
+
+	ct, err := sess.ClusterTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := decodeClusterTrace(t, ct)
+	deadSpans, reassigns := 0, 0
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" && ev.Pid == 2 && ev.Tid > 0 {
+			deadSpans++
+		}
+		if ev.Name == trace.TransportReassign && ev.Pid == 3 {
+			reassigns++
+		}
+	}
+	// The worker died entering exchange 2, so everything it executed before
+	// exchange 1's barrier (its share of the first round) was already
+	// shipped and must survive in its lane.
+	if deadSpans == 0 {
+		t.Error("dead worker's pre-death spans missing from its trace lane")
+	}
+	if reassigns == 0 {
+		t.Error("reassignment instant missing from transport lane")
+	}
+}
+
+// TestStatusEndpoint serves a live session over the -status HTTP endpoint
+// and checks the snapshot schema documented in docs/DISTRIBUTED.md.
+func TestStatusEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	sess, err := NewSession(SessionOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run(parityJobs()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := StartStatus("127.0.0.1:0", func() any { return sess.Status() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st transport.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "coordinator" || st.Parties != 3 || st.Self != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Alive != 3 || len(st.Peers) != 2 {
+		t.Errorf("alive/peers = %d/%d, want 3/2 (%+v)", st.Alive, len(st.Peers), st)
+	}
+	if st.Seq == 0 || st.Wire.BytesOut == 0 {
+		t.Errorf("status shows no completed exchanges: %+v", st)
+	}
+	for _, p := range st.Peers {
+		if !p.Alive || p.BytesIn == 0 {
+			t.Errorf("peer row %+v, want alive with traffic", p)
+		}
+	}
+}

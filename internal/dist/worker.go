@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"mpcdist/internal/core"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
 )
 
@@ -39,7 +40,12 @@ func MaybeWorkerMain() {
 
 // WorkerMain dials the coordinator at addr and serves jobs until the
 // session shuts down. It returns a process exit code.
-func WorkerMain(addr string) int {
+func WorkerMain(addr string) int { return WorkerMainStatus(addr, "") }
+
+// WorkerMainStatus is WorkerMain with an optional live status endpoint:
+// when statusAddr is non-empty the worker serves its transport.Status as
+// JSON at http://statusAddr/status for the session's lifetime.
+func WorkerMainStatus(addr, statusAddr string) int {
 	var opts transport.Options
 	if v := os.Getenv(EnvWorkerDieSeq); v != "" {
 		n, err := strconv.Atoi(v)
@@ -63,6 +69,14 @@ func WorkerMain(addr string) int {
 		return 1
 	}
 	defer w.Close()
+	if statusAddr != "" {
+		srv, err := StartStatus(statusAddr, func() any { return w.Status() })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcdist worker:", err)
+			return 1
+		}
+		defer srv.Close()
+	}
 	if err := Serve(w); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcdist worker:", err)
 		return 1
@@ -75,6 +89,15 @@ func WorkerMain(addr string) int {
 // party's share of each round's machines), ship the result digest, and
 // repeat until the coordinator shuts the session down.
 func Serve(w *transport.Worker) error {
+	// When the coordinator's welcome asked for telemetry, every job's
+	// driver observes into a collector, and the transport drains it at
+	// each round barrier (plus job end) into fTelemetry frames. The
+	// observer changes nothing deterministic — it only records.
+	var col *trace.Collector
+	if w.TelemetryEnabled() {
+		col = &trace.Collector{}
+		w.SetTelemetrySource(col.DrainTelemetry)
+	}
 	for {
 		jb, err := w.NextJob()
 		if errors.Is(err, transport.ErrShutdown) {
@@ -91,6 +114,9 @@ func Serve(w *transport.Worker) error {
 			Parallelism: runtime.GOMAXPROCS(0),
 			Ctx:         context.Background(),
 			Transport:   w,
+		}
+		if col != nil {
+			host.Observer = col
 		}
 		res, rerr := runJob(job, host)
 		if isTransportErr(rerr) {

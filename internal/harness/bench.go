@@ -11,6 +11,7 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/transport"
 	"mpcdist/internal/workload"
 )
 
@@ -43,6 +44,11 @@ type BenchConfig struct {
 	Transport string
 	// Workers is the worker-process count for Transport "tcp" (0 = 2).
 	Workers int
+	// Telemetry turns on the tcp session's trace shipping (ignored on
+	// local). Out-of-band by design: a telemetry-on run must compare
+	// exactly against a telemetry-off baseline — that is how the bench
+	// suite enforces the observability plane's zero-interference invariant.
+	Telemetry bool
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -94,7 +100,9 @@ type BenchResult struct {
 	Phases    []BenchPhase `json:"phases"`
 	ElapsedMs float64      `json:"elapsedMs"` // wall time; compared with tolerance only
 	// WireBytes is the case's transport traffic (both directions, all
-	// workers) on a tcp run; 0 on local. Advisory, never compared.
+	// workers). Local runs count the logical codec encoding of each
+	// exchange, tcp runs the real wire (framing and handshakes included),
+	// so the two are comparable but not equal. Advisory, never compared.
 	WireBytes int64 `json:"wireBytes,omitempty"`
 }
 
@@ -108,8 +116,12 @@ type BenchFile struct {
 	// from CompareBench's config gate: counters must match across
 	// transports, and diffing a tcp run against the local baseline is
 	// exactly how that invariant is checked.
-	Transport string        `json:"transport,omitempty"`
-	Workers   int           `json:"workers,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	// Telemetry records whether the tcp session shipped trace events.
+	// Excluded from the config gate for the same reason as Transport:
+	// diffing telemetry-on against a telemetry-off baseline is the check.
+	Telemetry bool          `json:"telemetry,omitempty"`
 	Results   []BenchResult `json:"results"`
 }
 
@@ -265,29 +277,43 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 		Transport: cfg.Transport,
 	}
 	var sess *dist.Session
+	var local *transport.Local
 	switch cfg.Transport {
 	case "local":
+		// The counting in-process transport makes local WireBytes a
+		// logical-encoding measure comparable against tcp runs (which add
+		// framing and handshake traffic on top of the same payload codec).
+		local = transport.NewLocal()
 	case "tcp":
 		var err error
-		if sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers}); err != nil {
+		sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers, Telemetry: cfg.Telemetry})
+		if err != nil {
 			return BenchFile{}, err
 		}
 		defer sess.Close()
 		file.Workers = cfg.Workers
+		file.Telemetry = cfg.Telemetry
 	default:
 		return BenchFile{}, fmt.Errorf("harness: unknown transport %q (want local or tcp)", cfg.Transport)
 	}
 	wireBytes := func() int64 {
-		if sess == nil {
-			return 0
+		var st transport.Stats
+		if sess != nil {
+			st = sess.Stats()
+		} else {
+			st = local.Stats()
 		}
-		st := sess.Stats()
 		return st.BytesIn + st.BytesOut
 	}
 	for _, bc := range benchCases(cfg.Seed) {
 		for _, n := range cfg.Sizes {
 			p := core.Params{X: bc.x, Eps: cfg.Eps, Seed: cfg.Seed,
 				Faults: cfg.Faults, MaxRetries: cfg.MaxRetries}
+			if local != nil {
+				// Guarded: a nil *Local in the interface field would read
+				// as non-nil to the driver.
+				p.Transport = local
+			}
 			start := time.Now()
 			wireStart := wireBytes()
 			res, err := runCase(bc, bc.gen(n), p, sess)

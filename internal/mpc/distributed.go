@@ -83,5 +83,6 @@ func remoteSpan(name string, phase trace.Phase, round int, r transport.Record, b
 		OutWords:  outWords,
 		Sends:     len(r.Msgs),
 		Fanout:    fanout,
+		Remote:    true,
 	}
 }

@@ -154,6 +154,32 @@ type Report struct {
 	// both 0 on a fault-free cluster.
 	Failures int
 	Retries  int
+	// Workers attributes the cluster's work to the parties of a
+	// distributed run, by the deterministic machine assignment; empty on a
+	// single-party run. Advisory rows: they are identical on every party
+	// (the assignment is), but they are not part of the deterministic
+	// result digest.
+	Workers []WorkerStats
+}
+
+// WorkerStats is one party's share of a distributed run, attributed by
+// the deterministic AssignMachines partition — machines reassigned after
+// a mid-round loss still count against the party originally assigned
+// them, keeping the rows identical on every party regardless of which
+// process actually re-executed the work.
+type WorkerStats struct {
+	Party         int
+	MachineRounds int   // machine-round executions assigned to this party
+	Ops           int64 // elementary operations across those executions
+	CommWords     int64 // words those machines emitted into the shuffle
+	// QueueWait sums the machines' slot waits (host-level, advisory).
+	QueueWait time.Duration
+	Failures  int
+	Retries   int
+	// WireBytes is the party's connection traffic as seen by the
+	// coordinator; filled by internal/dist after a session run, 0
+	// otherwise. Advisory.
+	WireBytes int64
 }
 
 // String renders the report as a summary line followed by one line per
@@ -168,14 +194,25 @@ func (r Report) String() string {
 	for _, ps := range Profile(r).Phases {
 		s += "\n  " + ps.String()
 	}
+	for _, w := range r.Workers {
+		s += fmt.Sprintf("\n  party %d: machineRounds=%d ops=%d comm=%d queueWait=%s",
+			w.Party, w.MachineRounds, w.Ops, w.CommWords, w.QueueWait.Round(time.Microsecond))
+		if w.Failures > 0 || w.Retries > 0 {
+			s += fmt.Sprintf(" failures=%d retries=%d", w.Failures, w.Retries)
+		}
+		if w.WireBytes > 0 {
+			s += fmt.Sprintf(" wire=%dB", w.WireBytes)
+		}
+	}
 	return s
 }
 
 // Cluster is a simulated MPC deployment. The zero value is not usable;
 // construct with NewCluster.
 type Cluster struct {
-	cfg    Config
-	rounds []RoundStats
+	cfg     Config
+	rounds  []RoundStats
+	workers []WorkerStats
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -215,11 +252,12 @@ func (c *Cluster) Report() Report {
 		rep.Failures += r.Failures
 		rep.Retries += r.Retries
 	}
+	rep.Workers = append([]WorkerStats(nil), c.workers...)
 	return rep
 }
 
 // Reset clears the round history but keeps the configuration.
-func (c *Cluster) Reset() { c.rounds = nil }
+func (c *Cluster) Reset() { c.rounds, c.workers = nil, nil }
 
 // Ctx is the view a machine has of the world during one round: its
 // identity, its random streams, an operation counter, and an outbox.
@@ -512,6 +550,41 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	for _, r := range merged {
 		st.Failures += r.Failures
 		st.Retries += r.Retries
+	}
+
+	// Attribute the round's work to parties by the deterministic
+	// assignment. Pure function of (assign, merged), both identical on
+	// every party, so the rows agree everywhere.
+	if parties > 1 {
+		if len(c.workers) < parties {
+			nw := make([]WorkerStats, parties)
+			copy(nw, c.workers)
+			for p := range nw {
+				nw[p].Party = p
+			}
+			c.workers = nw
+		}
+		byID := make(map[int]transport.Record, len(merged))
+		for _, r := range merged {
+			byID[r.Machine] = r
+		}
+		for p, idsP := range assign {
+			ws := &c.workers[p]
+			for _, id := range idsP {
+				r, ok := byID[id]
+				if !ok {
+					continue
+				}
+				ws.MachineRounds++
+				ws.Ops += r.Ops
+				ws.QueueWait += time.Duration(r.QueueNs)
+				ws.Failures += r.Failures
+				ws.Retries += r.Retries
+				for _, m := range r.Msgs {
+					ws.CommWords += int64(m.Data.(Payload).Words())
+				}
+			}
+		}
 	}
 
 	// Execution window and skew over the machines that actually ran.

@@ -30,7 +30,12 @@ type algoSpec struct {
 	// (MPC algorithms only); Theorem 9 allows X = 5/17 itself, the slack
 	// mirrors core's validation.
 	MaxX float64
-	run  func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error)
+	// distAlgo, when non-empty, is the distributed job name: with a
+	// Config.Dist session attached, non-trace queries for this algorithm
+	// run across the worker cluster instead of in-process. The results are
+	// bit-identical either way (the TCP parity suite enforces it).
+	distAlgo string
+	run      func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error)
 	// degrade, when set, is the sequential fallback the degradation ladder
 	// runs if the exact kernel exhausts its (reserve-reduced) deadline: a
 	// cheap kernel answering the same question approximately (or exactly
@@ -131,21 +136,21 @@ var algos = map[string]algoSpec{
 		a.Window = &WindowJSON{Gamma: win.Gamma, Kappa: win.Kappa}
 		return a, nil
 	}},
-	"ulam-mpc": {Ints: true, MPC: true, MaxX: maxXHalf, degrade: degradeUlam, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"ulam-mpc": {Ints: true, MPC: true, MaxX: maxXHalf, distAlgo: "ulam-mpc", degrade: degradeUlam, run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		res, err := mpcdist.UlamDistanceMPCCtx(ctx, q.ASeq, q.BSeq, p)
 		if err != nil {
 			return Answer{}, err
 		}
 		return mpcAnswer("ulam-mpc", res), nil
 	}},
-	"edit-mpc": {MPC: true, MaxX: maxXEdit, degrade: degradeEdit("edit-mpc"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"edit-mpc": {MPC: true, MaxX: maxXEdit, distAlgo: "edit-mpc", degrade: degradeEdit("edit-mpc"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		res, err := mpcdist.EditDistanceMPCCtx(ctx, []byte(q.A), []byte(q.B), p)
 		if err != nil {
 			return Answer{}, err
 		}
 		return mpcAnswer("edit-mpc", res), nil
 	}},
-	"edit-hss": {MPC: true, MaxX: maxXHalf, degrade: degradeEdit("edit-hss"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
+	"edit-hss": {MPC: true, MaxX: maxXHalf, distAlgo: "edit-hss", degrade: degradeEdit("edit-hss"), run: func(ctx context.Context, q Query, p mpcdist.MPCParams) (Answer, error) {
 		p.Ctx = ctx
 		res, err := mpcdist.EditDistanceHSS([]byte(q.A), []byte(q.B), p)
 		if err != nil {

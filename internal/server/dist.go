@@ -1,0 +1,42 @@
+package server
+
+import (
+	"mpcdist"
+	"mpcdist/internal/transport"
+)
+
+// DistRunner is the seam through which the server routes MPC queries to a
+// distributed cluster instead of the in-process simulator. cmd/mpcserve
+// adapts internal/dist.Session to it when started with -transport tcp;
+// tests substitute fakes. Implementations serialize jobs internally (a
+// session runs one at a time), so concurrent pool workers may call Run.
+type DistRunner interface {
+	// Run executes one MPC job across the cluster. algo is the distributed
+	// job name ("edit-mpc", "edit-hss", "ulam-mpc"); s/t are the string
+	// inputs and p/q the integer sequences, exactly one pair non-nil.
+	Run(algo string, s, t []byte, p, q []int, params mpcdist.MPCParams) (mpcdist.MPCResult, error)
+	// Status snapshots the live transport view of the session — worker
+	// liveness, wire counters, per-peer heartbeat RTT — for the metrics
+	// endpoint. Must be safe to call from any goroutine.
+	Status() transport.Status
+}
+
+// TransportJSON is the cluster-transport section of the metrics snapshot,
+// filled at scrape time from the live session (gauge semantics, like the
+// pool and cache sections). Present only when the server runs distributed.
+type TransportJSON struct {
+	Workers int                    `json:"workers"` // spawned worker processes
+	Alive   int                    `json:"alive"`   // live parties, coordinator included
+	Wire    transport.Stats        `json:"wire"`
+	Peers   []transport.PeerStatus `json:"peers"`
+}
+
+// transportJSON shapes a live status snapshot for the metrics endpoint.
+func transportJSON(st transport.Status) *TransportJSON {
+	return &TransportJSON{
+		Workers: st.Parties - 1,
+		Alive:   st.Alive,
+		Wire:    st.Wire,
+		Peers:   st.Peers,
+	}
+}

@@ -76,19 +76,34 @@ type PhaseAgg struct {
 	TotalCritical int64 `json:"totalCriticalOps"`
 }
 
+// WorkerAgg aggregates one cluster party's share of distributed runs:
+// machine-rounds executed, model work and communication attributed, wire
+// traffic on its link, and fault/recovery counts. Keyed by party in the
+// snapshot (party 0 is the coordinator).
+type WorkerAgg struct {
+	MachineRounds int64   `json:"machineRounds"`
+	Ops           int64   `json:"ops"`
+	CommWords     int64   `json:"commWords"`
+	QueueWaitMs   float64 `json:"queueWaitMs"`
+	Failures      int64   `json:"failures,omitempty"`
+	Retries       int64   `json:"retries,omitempty"`
+	WireBytes     int64   `json:"wireBytes,omitempty"`
+}
+
 // Metrics is the server-wide observability registry behind /metrics.
 type Metrics struct {
-	mu       sync.Mutex
-	started  time.Time
-	requests uint64
-	errors   uint64
-	panics   uint64
-	badInput uint64
-	timeouts uint64
-	batches  uint64
-	degraded uint64
-	shed     uint64
-	perAlgo  map[string]*AlgoStats
+	mu        sync.Mutex
+	started   time.Time
+	requests  uint64
+	errors    uint64
+	panics    uint64
+	badInput  uint64
+	timeouts  uint64
+	batches   uint64
+	degraded  uint64
+	shed      uint64
+	perAlgo   map[string]*AlgoStats
+	perWorker map[int]*WorkerAgg
 }
 
 // NewMetrics returns an empty registry.
@@ -156,6 +171,23 @@ func (m *Metrics) Observe(algo string, elapsed time.Duration, cached bool, faile
 			pa.TotalComm += ph.CommWords
 			pa.TotalCritical += ph.CriticalOps
 		}
+		for _, w := range rep.Workers {
+			if m.perWorker == nil {
+				m.perWorker = make(map[int]*WorkerAgg)
+			}
+			wa, ok := m.perWorker[w.Party]
+			if !ok {
+				wa = &WorkerAgg{}
+				m.perWorker[w.Party] = wa
+			}
+			wa.MachineRounds += int64(w.MachineRounds)
+			wa.Ops += w.Ops
+			wa.CommWords += w.CommWords
+			wa.QueueWaitMs += w.QueueWaitMs
+			wa.Failures += int64(w.Failures)
+			wa.Retries += int64(w.Retries)
+			wa.WireBytes += w.WireBytes
+		}
 	}
 }
 
@@ -219,6 +251,12 @@ type Snapshot struct {
 	Algorithms     map[string]*AlgoStats `json:"algorithms"`
 	Cache          CacheStats            `json:"cache"`
 	Pool           PoolStats             `json:"pool"`
+	// Workers aggregates per-party attribution over distributed runs
+	// (distributed servers only), keyed by party number.
+	Workers map[int]*WorkerAgg `json:"workers,omitempty"`
+	// Transport is the live cluster-transport view, filled by the server at
+	// scrape time from the session (distributed servers only).
+	Transport *TransportJSON `json:"transport,omitempty"`
 }
 
 // Snapshot copies the counters; cache and pool stats are filled by the
@@ -239,6 +277,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 		algs[name] = &c
 	}
+	var workers map[int]*WorkerAgg
+	if m.perWorker != nil {
+		workers = make(map[int]*WorkerAgg, len(m.perWorker))
+		for party, wa := range m.perWorker {
+			c := *wa
+			workers[party] = &c
+		}
+	}
 	return Snapshot{
 		UptimeSeconds:  time.Since(m.started).Seconds(),
 		Requests:       m.requests,
@@ -251,5 +297,6 @@ func (m *Metrics) Snapshot() Snapshot {
 		Shed:           m.shed,
 		LatencyBuckets: append([]float64(nil), latencyBuckets...),
 		Algorithms:     algs,
+		Workers:        workers,
 	}
 }

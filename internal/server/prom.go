@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mpcdist/internal/transport"
 )
 
 // Prometheus text exposition (version 0.0.4), hand-rolled so the module
@@ -246,6 +248,85 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	p.value("mpcserve_cache_misses_total", "", float64(snap.Cache.Misses))
 	p.header("mpcserve_cache_evictions_total", "Cache evictions.", "counter")
 	p.value("mpcserve_cache_evictions_total", "", float64(snap.Cache.Evictions))
+
+	// Cluster transport: live session counters, present only on distributed
+	// servers (the snapshot field is filled at scrape time).
+	if t := snap.Transport; t != nil {
+		p.header("mpcserve_transport_workers", "Worker processes in the cluster.", "gauge")
+		p.value("mpcserve_transport_workers", "", float64(t.Workers))
+		p.header("mpcserve_transport_alive", "Live parties, coordinator included.", "gauge")
+		p.value("mpcserve_transport_alive", "", float64(t.Alive))
+		p.header("mpcserve_transport_bytes_out_total", "Bytes written to the cluster wire.", "counter")
+		p.value("mpcserve_transport_bytes_out_total", "", float64(t.Wire.BytesOut))
+		p.header("mpcserve_transport_bytes_in_total", "Bytes read from the cluster wire.", "counter")
+		p.value("mpcserve_transport_bytes_in_total", "", float64(t.Wire.BytesIn))
+		p.header("mpcserve_transport_frames_total", "Frames sent and received on the cluster wire.", "counter")
+		p.value("mpcserve_transport_frames_total", "", float64(t.Wire.Frames))
+		p.header("mpcserve_transport_exchanges_total", "Completed exchange barriers.", "counter")
+		p.value("mpcserve_transport_exchanges_total", "", float64(t.Wire.Exchanges))
+		p.header("mpcserve_transport_peers_lost_total", "Peers declared dead (conn error or heartbeat timeout).", "counter")
+		p.value("mpcserve_transport_peers_lost_total", "", float64(t.Wire.PeersLost))
+		p.header("mpcserve_transport_reassigns_total", "Machine batches re-executed after a peer loss.", "counter")
+		p.value("mpcserve_transport_reassigns_total", "", float64(t.Wire.Reassigns))
+
+		peerLabel := func(party int) string {
+			return `party="` + strconv.Itoa(party) + `"`
+		}
+		peerSeries := []struct {
+			name, help, typ string
+			get             func(transport.PeerStatus) float64
+		}{
+			{"mpcserve_transport_peer_alive", "Peer liveness (1 alive, 0 lost).", "gauge", func(ps transport.PeerStatus) float64 {
+				if ps.Alive {
+					return 1
+				}
+				return 0
+			}},
+			{"mpcserve_transport_peer_bytes_in_total", "Bytes received from this peer.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.BytesIn) }},
+			{"mpcserve_transport_peer_bytes_out_total", "Bytes sent to this peer.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.BytesOut) }},
+			{"mpcserve_transport_peer_frames_total", "Frames exchanged with this peer.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.Frames) }},
+			{"mpcserve_transport_peer_rtt_p99_seconds", "Heartbeat round-trip p99 (0 until sampled).", "gauge", func(ps transport.PeerStatus) float64 { return ps.RTTP99Ms / 1000 }},
+		}
+		for _, s := range peerSeries {
+			if len(t.Peers) == 0 {
+				break
+			}
+			p.header(s.name, s.help, s.typ)
+			for _, ps := range t.Peers {
+				p.value(s.name, peerLabel(ps.Party), s.get(ps))
+			}
+		}
+	}
+
+	// Per-party attribution aggregated over distributed runs.
+	if len(snap.Workers) > 0 {
+		parties := make([]int, 0, len(snap.Workers))
+		for party := range snap.Workers {
+			parties = append(parties, party)
+		}
+		sort.Ints(parties)
+		workerLabel := func(party int) string {
+			return `party="` + strconv.Itoa(party) + `"`
+		}
+		workerSeries := []struct {
+			name, help string
+			get        func(*WorkerAgg) float64
+		}{
+			{"mpcserve_worker_machine_rounds_total", "Machine-rounds executed by this party.", func(w *WorkerAgg) float64 { return float64(w.MachineRounds) }},
+			{"mpcserve_worker_ops_total", "Simulated operations attributed to this party.", func(w *WorkerAgg) float64 { return float64(w.Ops) }},
+			{"mpcserve_worker_comm_words_total", "Simulated communication (words) attributed to this party.", func(w *WorkerAgg) float64 { return float64(w.CommWords) }},
+			{"mpcserve_worker_queue_wait_seconds_total", "Coordinator time spent waiting on this party at barriers.", func(w *WorkerAgg) float64 { return w.QueueWaitMs / 1000 }},
+			{"mpcserve_worker_failures_total", "Injected faults observed on this party.", func(w *WorkerAgg) float64 { return float64(w.Failures) }},
+			{"mpcserve_worker_retries_total", "Fault-recovery actions attributed to this party.", func(w *WorkerAgg) float64 { return float64(w.Retries) }},
+			{"mpcserve_worker_wire_bytes_total", "Wire bytes on this party's link.", func(w *WorkerAgg) float64 { return float64(w.WireBytes) }},
+		}
+		for _, s := range workerSeries {
+			p.header(s.name, s.help, "counter")
+			for _, party := range parties {
+				p.value(s.name, workerLabel(party), s.get(snap.Workers[party]))
+			}
+		}
+	}
 
 	return p.err
 }

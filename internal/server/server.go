@@ -100,6 +100,14 @@ type Config struct {
 	// MaxRetries is the per-machine-round/per-message recovery budget for
 	// MPC queries (0 = mpc.DefaultMaxRetries).
 	MaxRetries int
+	// Dist, when non-nil, routes MPC queries (edit-mpc, edit-hss,
+	// ulam-mpc; not ?trace=1) to a distributed worker cluster instead of
+	// the in-process simulator. Answers are bit-identical either way and
+	// marked distributed:true; /metrics grows mpcserve_transport_* and
+	// mpcserve_worker_* series. The degradation ladder does not apply to
+	// cluster runs — their resilience story is the transport's own
+	// mid-round reassignment.
+	Dist DistRunner
 }
 
 func (c Config) withDefaults() Config {
@@ -341,6 +349,23 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 // while the request itself is still alive, the sequential fallback answers
 // within the reserved slice, marked degraded.
 func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpcdist.MPCParams, wantTrace bool) (Answer, error) {
+	// Cluster routing: with a distributed session attached, eligible MPC
+	// queries run across the real worker processes. Traced queries stay
+	// in-process (the trace observer wants this process's event stream),
+	// and the degradation ladder is bypassed — a cluster run recovers from
+	// worker loss by reassignment, not by a sequential fallback.
+	if s.cfg.Dist != nil && spec.distAlgo != "" && !wantTrace {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
+		res, err := s.cfg.Dist.Run(spec.distAlgo, []byte(q.A), []byte(q.B), q.ASeq, q.BSeq, params)
+		if err != nil {
+			return Answer{}, err
+		}
+		a := mpcAnswer(q.Algo, res)
+		a.Distributed = true
+		return a, nil
+	}
 	runCtx := ctx
 	canDegrade := spec.degrade != nil && s.cfg.DegradeReserve > 0 && !wantTrace
 	if canDegrade {
@@ -473,6 +498,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
 	snap.Pool = s.pool.Stats()
+	if s.cfg.Dist != nil {
+		snap.Transport = transportJSON(s.cfg.Dist.Status())
+	}
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)
 		return

@@ -46,6 +46,11 @@ type Answer struct {
 	// for the edit algorithms, exact sequential for Ulam). Degraded
 	// answers are never cached.
 	Degraded bool `json:"degraded,omitempty"`
+	// Distributed reports that the answer was computed by a real worker
+	// cluster (the server was started with -transport tcp). The distance
+	// and every deterministic report counter are bit-identical to the
+	// in-process run; only the per-worker rows are extra.
+	Distributed bool `json:"distributed,omitempty"`
 	// Retries counts the MPC cluster's fault-recovery actions during this
 	// run (0 and omitted without fault injection).
 	Retries int `json:"retries,omitempty"`
@@ -78,6 +83,24 @@ type ReportJSON struct {
 	Failures    int         `json:"failures,omitempty"`
 	Retries     int         `json:"retries,omitempty"`
 	Phases      []PhaseJSON `json:"phases,omitempty"`
+	// Workers attributes the run to cluster parties (distributed runs
+	// only; party 0 is the coordinator). Advisory rows — they never feed
+	// the deterministic counters above.
+	Workers []WorkerJSON `json:"workers,omitempty"`
+}
+
+// WorkerJSON is one party's share of a distributed run: the machine-rounds
+// it executed (by the deterministic assignment), the model work and
+// communication they account for, and the wire traffic on its link.
+type WorkerJSON struct {
+	Party         int     `json:"party"`
+	MachineRounds int     `json:"machineRounds"`
+	Ops           int64   `json:"ops"`
+	CommWords     int64   `json:"commWords"`
+	QueueWaitMs   float64 `json:"queueWaitMs"`
+	Failures      int     `json:"failures,omitempty"`
+	Retries       int     `json:"retries,omitempty"`
+	WireBytes     int64   `json:"wireBytes,omitempty"`
 }
 
 // PhaseJSON is one phase's share of a run's Table 1 quantities.
@@ -111,6 +134,18 @@ func reportJSON(r mpcdist.Report) *ReportJSON {
 			TotalOps:    ps.TotalOps,
 			CriticalOps: ps.CriticalOps,
 			CommWords:   ps.CommWords,
+		})
+	}
+	for _, w := range r.Workers {
+		rep.Workers = append(rep.Workers, WorkerJSON{
+			Party:         w.Party,
+			MachineRounds: w.MachineRounds,
+			Ops:           w.Ops,
+			CommWords:     w.CommWords,
+			QueueWaitMs:   float64(w.QueueWait.Nanoseconds()) / 1e6,
+			Failures:      w.Failures,
+			Retries:       w.Retries,
+			WireBytes:     w.WireBytes,
 		})
 	}
 	return rep

@@ -75,6 +75,52 @@ func TestMultiPreservesOrder(t *testing.T) {
 	}
 }
 
+// transportRecorder is a recorder that additionally implements
+// trace.TransportObserver.
+type transportRecorder struct {
+	recorder
+}
+
+func (r *transportRecorder) Transport(e trace.TransportEvent) {
+	r.record(fmt.Sprintf("transport:%s.%d", e.Kind, e.Party))
+}
+
+// TestMultiForwardsTransportEvents is the regression test for the
+// transport-event fan-out: a Multi must forward Transport() to every member
+// that implements TransportObserver and silently skip members that do not.
+// Before the fan-out existed, wrapping a TransportObserver in a Multi
+// silently dropped its transport events.
+func TestMultiForwardsTransportEvents(t *testing.T) {
+	var mu sync.Mutex
+	var log []string
+	plain := &recorder{tag: "plain", mu: &mu, log: &log}
+	a := &transportRecorder{recorder{tag: "a", mu: &mu, log: &log}}
+	b := &transportRecorder{recorder{tag: "b", mu: &mu, log: &log}}
+	m := trace.Multi(plain, a, b)
+
+	to, ok := m.(trace.TransportObserver)
+	if !ok {
+		t.Fatal("Multi of TransportObservers does not implement TransportObserver")
+	}
+	to.Transport(trace.TransportEvent{Kind: trace.TransportReassign, Party: 2})
+	to.Transport(trace.TransportEvent{Kind: trace.TransportExchange, Party: -1})
+
+	want := []string{
+		"a:transport:reassign.2", "b:transport:reassign.2",
+		"a:transport:exchange.-1", "b:transport:exchange.-1",
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v (plain member must not receive transport events)", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
 // TestMultiConcurrentFanOut exercises concurrent MachineEnd/Message fan-out
 // through a Multi from many goroutines; run with -race it proves the
 // fan-out path adds no shared mutable state of its own.

@@ -113,14 +113,15 @@ func (a *SkewAnalyzer) Rounds() []RoundSkew {
 // Collector is an Observer that records every event verbatim — the
 // simplest way to assert on the simulator's event stream in tests.
 type Collector struct {
-	mu        sync.Mutex
-	Starts    []RoundInfo
-	Spans     []MachineSpan
-	Messages  int
-	MsgWords  int64
-	Faults    []FaultEvent
-	Retries   []RetryEvent
-	Summaries []RoundSummary
+	mu         sync.Mutex
+	Starts     []RoundInfo
+	Spans      []MachineSpan
+	Messages   int
+	MsgWords   int64
+	Faults     []FaultEvent
+	Retries    []RetryEvent
+	Summaries  []RoundSummary
+	Transports []TransportEvent
 }
 
 func (c *Collector) RoundStart(r RoundInfo) {
@@ -159,5 +160,13 @@ func (c *Collector) Retry(e RetryEvent) {
 func (c *Collector) RoundEnd(r RoundSummary) {
 	c.mu.Lock()
 	c.Summaries = append(c.Summaries, r)
+	c.mu.Unlock()
+}
+
+// Transport implements TransportObserver, buffering transport-level events
+// alongside the simulator's own.
+func (c *Collector) Transport(e TransportEvent) {
+	c.mu.Lock()
+	c.Transports = append(c.Transports, e)
 	c.mu.Unlock()
 }

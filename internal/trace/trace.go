@@ -49,6 +49,11 @@ type MachineSpan struct {
 	// Sends counts emitted messages; Fanout counts distinct destinations.
 	Sends  int
 	Fanout int
+	// Remote marks a span replayed from another party's execution record
+	// on a distributed run (its timestamps were rebased onto this party's
+	// clock). Telemetry shipping skips remote spans so each party reports
+	// only the machines it executed itself.
+	Remote bool
 }
 
 // Duration returns the span's execution time.
@@ -218,5 +223,17 @@ func (m multi) Retry(e RetryEvent) {
 func (m multi) RoundEnd(r RoundSummary) {
 	for _, o := range m {
 		o.RoundEnd(r)
+	}
+}
+
+// Transport forwards a transport-level event to every member that
+// implements TransportObserver. Having multi implement the optional
+// interface means a Multi(...) result never silently drops transport
+// events just because the first member doesn't consume them.
+func (m multi) Transport(e TransportEvent) {
+	for _, o := range m {
+		if to, ok := o.(TransportObserver); ok {
+			to.Transport(e)
+		}
 	}
 }

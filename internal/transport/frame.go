@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,8 +21,9 @@ import (
 
 // ProtocolVersion is bumped on any incompatible change to the framing or
 // the handshake. The coordinator rejects workers announcing a different
-// version.
-const ProtocolVersion = 1
+// version. Version 2 added the welcome's clock-sync timestamp and
+// telemetry flag, plus the fTelemetry and fPong frames.
+const ProtocolVersion = 2
 
 // helloMagic opens the fHello body so a coordinator can immediately reject
 // a stray connection that is not an mpcdist worker.
@@ -30,16 +32,18 @@ const helloMagic = 0x4d504358 // "MPCX"
 type frameType byte
 
 const (
-	fHello    frameType = 1  // worker -> coordinator: magic, protocol version
-	fWelcome  frameType = 2  // coordinator -> worker: version, parties, party id, codec table
-	fJobStart frameType = 3  // coordinator -> worker: opaque job spec
-	fResult   frameType = 4  // worker -> coordinator: opaque result digest
-	fShutdown frameType = 5  // coordinator -> worker: session over
-	fRecords  frameType = 6  // worker -> coordinator: seq, meta, execution records
-	fAssign   frameType = 7  // coordinator -> worker: seq, extra machine ids (reassignment)
-	fMerged   frameType = 8  // coordinator -> worker: seq, meta, full merged round
-	fPing     frameType = 9  // either direction: heartbeat, empty body
-	fError    frameType = 10 // either direction: fatal condition, message string
+	fHello     frameType = 1  // worker -> coordinator: magic, protocol version
+	fWelcome   frameType = 2  // coordinator -> worker: version, parties, party id, codec table
+	fJobStart  frameType = 3  // coordinator -> worker: opaque job spec
+	fResult    frameType = 4  // worker -> coordinator: opaque result digest
+	fShutdown  frameType = 5  // coordinator -> worker: session over
+	fRecords   frameType = 6  // worker -> coordinator: seq, meta, execution records
+	fAssign    frameType = 7  // coordinator -> worker: seq, extra machine ids (reassignment)
+	fMerged    frameType = 8  // coordinator -> worker: seq, meta, full merged round
+	fPing      frameType = 9  // either direction: heartbeat, empty body
+	fError     frameType = 10 // either direction: fatal condition, message string
+	fTelemetry frameType = 11 // worker -> coordinator: codec-encoded trace.Telemetry (out-of-band)
+	fPong      frameType = 12 // either direction: heartbeat reply, empty body
 )
 
 func (t frameType) String() string {
@@ -64,6 +68,10 @@ func (t frameType) String() string {
 		return "ping"
 	case fError:
 		return "error"
+	case fTelemetry:
+		return "telemetry"
+	case fPong:
+		return "pong"
 	}
 	return fmt.Sprintf("frame(%d)", byte(t))
 }
@@ -71,6 +79,9 @@ func (t frameType) String() string {
 // maxFrame caps a frame body; a longer announced length means a corrupt or
 // hostile stream, not a big round.
 const maxFrame = 1 << 30
+
+// frameHeaderLen is the fixed per-frame overhead: type byte + length word.
+const frameHeaderLen = 5
 
 type frame struct {
 	typ  frameType
@@ -110,11 +121,54 @@ type peer struct {
 	bytesIn, bytesOut atomic.Int64
 	frames            atomic.Int64
 
+	// Heartbeat RTT: pingLoop stamps lastPingNs before each fPing; the
+	// fPong reply closes the loop in readLoop. Samples live in a small
+	// ring so the p99 tracks recent conditions.
+	lastPingNs  atomic.Int64
+	lastHeardNs atomic.Int64
+	rttMu       sync.Mutex
+	rtts        []time.Duration // ring of recent heartbeat RTTs
+	rttNext     int
+
 	inbox    chan frame
 	readErr  error // valid after inbox closes
 	stopPing chan struct{}
 	pingDone sync.WaitGroup
 	timeout  time.Duration
+}
+
+// rttRing caps the heartbeat RTT sample ring.
+const rttRing = 64
+
+func (p *peer) recordRTT(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.rttMu.Lock()
+	if len(p.rtts) < rttRing {
+		p.rtts = append(p.rtts, d)
+	} else {
+		p.rtts[p.rttNext] = d
+		p.rttNext = (p.rttNext + 1) % rttRing
+	}
+	p.rttMu.Unlock()
+}
+
+// rttP99 is the nearest-rank 99th percentile of the recent heartbeat RTT
+// samples (the max for fewer than 100 samples), 0 with no samples yet.
+func (p *peer) rttP99() time.Duration {
+	p.rttMu.Lock()
+	sorted := append([]time.Duration(nil), p.rtts...)
+	p.rttMu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (99*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 func newPeer(conn net.Conn, remoteParty int, timeout time.Duration) *peer {
@@ -138,7 +192,8 @@ func (p *peer) start(interval time.Duration) {
 // readLoop pumps frames into the inbox under a rolling read deadline: any
 // frame (heartbeats included) pushes the deadline out, so a peer is
 // declared dead only after timeout with a silent wire. Heartbeats are
-// swallowed here; everything else is delivered in order.
+// swallowed here — a ping is answered with a pong, a pong closes the RTT
+// measurement opened by pingLoop; everything else is delivered in order.
 func (p *peer) readLoop() {
 	defer close(p.inbox)
 	for {
@@ -147,7 +202,15 @@ func (p *peer) readLoop() {
 			p.readErr = err
 			return
 		}
-		if f.typ == fPing {
+		switch f.typ {
+		case fPing:
+			// Reply errors mean a broken conn; the next read sees it too.
+			_ = p.write(fPong, nil)
+			continue
+		case fPong:
+			if sent := p.lastPingNs.Load(); sent > 0 {
+				p.recordRTT(time.Duration(time.Now().UnixNano() - sent))
+			}
 			continue
 		}
 		p.inbox <- f
@@ -165,6 +228,7 @@ func (p *peer) pingLoop(interval time.Duration) {
 		case <-t.C:
 			// A failed ping means the conn is broken; the read side will
 			// notice and declare the peer lost, so the error is dropped.
+			p.lastPingNs.Store(time.Now().UnixNano())
 			if p.write(fPing, nil) != nil {
 				return
 			}
@@ -192,6 +256,7 @@ func (p *peer) read() (frame, error) {
 		return frame{}, err
 	}
 	p.frames.Add(1)
+	p.lastHeardNs.Store(time.Now().UnixNano())
 	return frame{typ: frameType(hdr[0]), body: body}, nil
 }
 
@@ -439,49 +504,81 @@ func decodeAssign(body []byte) (int, []int, error) {
 	return int(seq), ids, nil
 }
 
-func encodeWelcome(parties, self int, table []string) []byte {
-	buf := binary.AppendUvarint(nil, ProtocolVersion)
-	buf = binary.AppendUvarint(buf, uint64(parties))
-	buf = binary.AppendUvarint(buf, uint64(self))
-	buf = binary.AppendUvarint(buf, uint64(len(table)))
-	for _, name := range table {
+// welcome is the decoded fWelcome body. ClockNs is the coordinator's
+// wall clock when it built the frame — the worker combines it with its
+// own hello-send and welcome-receive times into an NTP-style midpoint
+// offset estimate. Telemetry tells the worker whether to buffer and ship
+// trace telemetry back at round barriers.
+type welcome struct {
+	Version   int
+	Parties   int
+	Self      int
+	ClockNs   int64
+	Telemetry bool
+	Table     []string
+}
+
+func encodeWelcome(w welcome) []byte {
+	buf := binary.AppendUvarint(nil, uint64(w.Version))
+	buf = binary.AppendUvarint(buf, uint64(w.Parties))
+	buf = binary.AppendUvarint(buf, uint64(w.Self))
+	buf = binary.AppendVarint(buf, w.ClockNs)
+	if w.Telemetry {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w.Table)))
+	for _, name := range w.Table {
 		buf = appendString(buf, name)
 	}
 	return buf
 }
 
-func decodeWelcome(body []byte) (version, parties, self int, table []string, err error) {
+func decodeWelcome(body []byte) (welcome, error) {
+	var w welcome
 	v, data, err := readUvarint(body)
 	if err != nil {
-		return 0, 0, 0, nil, err
+		return w, err
 	}
+	w.Version = int(v)
 	p, data, err := readUvarint(data)
 	if err != nil {
-		return 0, 0, 0, nil, err
+		return w, err
 	}
+	w.Parties = int(p)
 	s, data, err := readUvarint(data)
 	if err != nil {
-		return 0, 0, 0, nil, err
+		return w, err
 	}
+	w.Self = int(s)
+	if w.ClockNs, data, err = readVarint(data); err != nil {
+		return w, err
+	}
+	if len(data) < 1 {
+		return w, errTruncated
+	}
+	w.Telemetry = data[0] == 1
+	data = data[1:]
 	count, data, err := readUvarint(data)
 	if err != nil {
-		return 0, 0, 0, nil, err
+		return w, err
 	}
 	if count > uint64(len(data))+1 {
-		return 0, 0, 0, nil, fmt.Errorf("transport: table count %d exceeds body", count)
+		return w, fmt.Errorf("transport: table count %d exceeds body", count)
 	}
-	table = make([]string, 0, count)
+	w.Table = make([]string, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var name string
 		if name, data, err = readString(data); err != nil {
-			return 0, 0, 0, nil, err
+			return w, err
 		}
-		table = append(table, name)
+		w.Table = append(w.Table, name)
 	}
 	if len(data) != 0 {
-		return 0, 0, 0, nil, fmt.Errorf("transport: %d trailing bytes after welcome", len(data))
+		return w, fmt.Errorf("transport: %d trailing bytes after welcome", len(data))
 	}
-	return int(v), int(p), int(s), table, nil
+	return w, nil
 }
 
 func encodeHello() []byte {

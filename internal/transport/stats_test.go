@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWelcomeRoundTrip covers the v2 handshake body: the coordinator's
+// clock stamp and telemetry flag must survive the encode/decode round trip
+// alongside the party geometry and codec table.
+func TestWelcomeRoundTrip(t *testing.T) {
+	for _, w := range []welcome{
+		{Version: ProtocolVersion, Parties: 4, Self: 2, ClockNs: 1_700_000_000_123_456_789, Telemetry: true,
+			Table: []string{"mpc.Int", "mpc.Ints"}},
+		{Version: ProtocolVersion, Parties: 2, Self: 1, ClockNs: -5, Telemetry: false, Table: []string{}},
+	} {
+		got, err := decodeWelcome(encodeWelcome(w))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", w, err)
+		}
+		if got.Version != w.Version || got.Parties != w.Parties || got.Self != w.Self ||
+			got.ClockNs != w.ClockNs || got.Telemetry != w.Telemetry ||
+			!reflect.DeepEqual(got.Table, w.Table) {
+			t.Errorf("welcome round trip: got %+v, want %+v", got, w)
+		}
+	}
+}
+
+// TestLocalStatsCountRecords checks the in-process transport's advisory
+// accounting: each Exchange measures the logical frame its records would
+// occupy on a wire, so `-transport local` reports a comparable wireBytes
+// instead of 0.
+func TestLocalStatsCountRecords(t *testing.T) {
+	l := NewLocal()
+	recs := []Record{
+		{Machine: 0, Ops: 10, Started: true},
+		{Machine: 1, Ops: 20, Started: true},
+	}
+	meta := RoundMeta{Round: 0, Name: "candidates", Phase: "candidates"}
+	out, err := l.Exchange(meta, [][]int{{0, 1}}, recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, recs) {
+		t.Fatalf("Local.Exchange must be the identity on records: %+v", out)
+	}
+
+	st := l.Stats()
+	if st.Exchanges != 1 || st.Frames != 1 {
+		t.Errorf("after one exchange: %+v", st)
+	}
+	if st.BytesOut <= frameHeaderLen {
+		t.Errorf("BytesOut = %d, want > header (%d): record body not counted", st.BytesOut, frameHeaderLen)
+	}
+	// A second, bigger exchange adds strictly more than the first.
+	first := st.BytesOut
+	big := make([]Record, 16)
+	for i := range big {
+		big[i] = Record{Machine: i, Ops: int64(i), Started: true}
+	}
+	if _, err := l.Exchange(RoundMeta{Round: 1, Name: "candidates", Phase: "candidates"}, [][]int{nil}, big, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Stats()
+	if st.Exchanges != 2 || st.BytesOut-first <= first {
+		t.Errorf("16-record exchange added %d bytes, want more than the 2-record one (%d)", st.BytesOut-first, first)
+	}
+	if st.BytesIn != 0 || st.PeersLost != 0 || st.Reassigns != 0 {
+		t.Errorf("single-party transport grew multi-party counters: %+v", st)
+	}
+}

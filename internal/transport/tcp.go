@@ -26,6 +26,11 @@ type Options struct {
 	// OnEvent, when non-nil, receives transport-level trace events
 	// (handshake, exchange barriers, peer losses, reassignments).
 	OnEvent func(trace.TransportEvent)
+	// Telemetry, on a coordinator, asks workers (via the welcome frame) to
+	// buffer trace events and ship them back as fTelemetry frames at round
+	// barriers and job end. Strictly out-of-band: results and deterministic
+	// counters are bit-identical either way.
+	Telemetry bool
 	// TestDieAtSeq, on a worker, terminates the process abruptly at the
 	// start of the given exchange (1-based), before its records ship — a
 	// deterministic stand-in for a mid-round worker crash, used by the
@@ -53,6 +58,11 @@ func (o Options) withDefaults() Options {
 // distinguishable from crashes in test assertions.
 const TestDieExitCode = 3
 
+// The telemetry payload travels through the same self-describing codec as
+// round traffic, so a worker built from the same sources ships it with no
+// extra wire machinery.
+func init() { Register("trace.Telemetry", trace.Telemetry{}) }
+
 // ErrShutdown reports an orderly session end: the coordinator told the
 // worker there are no more jobs.
 var ErrShutdown = errors.New("transport: session shut down")
@@ -72,12 +82,18 @@ type Coordinator struct {
 	opts   Options
 	codec  *Codec
 	peers  []*peer
-	alive  []bool
 	events chan peerEvent
 	seq    int
 
-	mu sync.Mutex
-	st Stats
+	// mu guards st, alive, the telemetry buffer, and the current-round
+	// snapshot. The driver goroutine is the only writer of alive/seq/cur,
+	// so its own reads stay unlocked; the mutex makes the Status endpoint
+	// (read from an HTTP goroutine) safe.
+	mu    sync.Mutex
+	st    Stats
+	alive []bool
+	tel   []trace.Telemetry
+	cur   RoundMeta
 }
 
 // NewCoordinator accepts and registers exactly `workers` worker processes
@@ -139,7 +155,14 @@ func (c *Coordinator) handshake(p *peer, workers, party int, deadline time.Time)
 		p.write(fError, []byte(msg))
 		return errors.New("transport: " + msg)
 	}
-	return p.write(fWelcome, encodeWelcome(workers+1, party, c.codec.Table()))
+	return p.write(fWelcome, encodeWelcome(welcome{
+		Version:   ProtocolVersion,
+		Parties:   workers + 1,
+		Self:      party,
+		ClockNs:   time.Now().UnixNano(),
+		Telemetry: c.opts.Telemetry,
+		Table:     c.codec.Table(),
+	}))
 }
 
 // pump forwards one peer's inbox into the shared event channel, closing
@@ -172,8 +195,8 @@ func (c *Coordinator) markDead(w int, cause error) bool {
 	if !c.alive[w] {
 		return false
 	}
-	c.alive[w] = false
 	c.mu.Lock()
+	c.alive[w] = false
 	c.st.PeersLost++
 	c.mu.Unlock()
 	c.peers[w].close()
@@ -211,7 +234,10 @@ func (c *Coordinator) StartJob(job []byte) error {
 // (or replaying them locally when none remains), then broadcast the
 // merged, machine-sorted round to all live workers — the round barrier.
 func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
+	c.mu.Lock()
 	c.seq++
+	c.cur = meta
+	c.mu.Unlock()
 	seq := c.seq
 
 	merged := make(map[int]Record, len(local)*2)
@@ -331,6 +357,8 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 					merged[r.Machine] = r
 				}
 			}
+		case fTelemetry:
+			c.addTelemetry(ev.f.body)
 		case fError:
 			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
 		default:
@@ -392,6 +420,8 @@ func (c *Coordinator) Results() ([][]byte, error) {
 		case fResult:
 			out[ev.w] = ev.f.body
 			waiting--
+		case fTelemetry:
+			c.addTelemetry(ev.f.body)
 		case fError:
 			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
 		default:
@@ -401,8 +431,11 @@ func (c *Coordinator) Results() ([][]byte, error) {
 	return out, nil
 }
 
-// Alive reports how many workers are still responding.
+// Alive reports how many workers are still responding. Safe to call from
+// any goroutine.
 func (c *Coordinator) Alive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, a := range c.alive {
 		if a {
@@ -410,6 +443,85 @@ func (c *Coordinator) Alive() int {
 		}
 	}
 	return n
+}
+
+// addTelemetry decodes and buffers one fTelemetry body. Telemetry is
+// out-of-band, so a malformed frame is dropped rather than failing the
+// round it arrived during.
+func (c *Coordinator) addTelemetry(body []byte) {
+	v, err := c.codec.Decode(body)
+	if err != nil {
+		return
+	}
+	t, ok := v.(trace.Telemetry)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.tel = append(c.tel, t)
+	c.mu.Unlock()
+}
+
+// DrainTelemetry returns the worker telemetry batches received so far, in
+// arrival order, and clears the buffer. Batches from one worker across
+// several barriers are returned separately; merge with
+// trace.MergeTelemetry.
+func (c *Coordinator) DrainTelemetry() []trace.Telemetry {
+	c.mu.Lock()
+	out := c.tel
+	c.tel = nil
+	c.mu.Unlock()
+	return out
+}
+
+// PeerStats reports per-worker wire counters and heartbeat RTT estimates,
+// ordered by party index (entry i is party i+1).
+func (c *Coordinator) PeerStats() []PeerStats {
+	c.mu.Lock()
+	alive := append([]bool(nil), c.alive...)
+	c.mu.Unlock()
+	out := make([]PeerStats, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = PeerStats{
+			Party:    p.party,
+			Alive:    alive[i],
+			BytesIn:  p.bytesIn.Load(),
+			BytesOut: p.bytesOut.Load(),
+			Frames:   p.frames.Load(),
+			RTTP99:   p.rttP99(),
+		}
+		if ns := p.lastHeardNs.Load(); ns > 0 {
+			out[i].LastHeard = time.Unix(0, ns)
+		}
+	}
+	return out
+}
+
+// Status snapshots the coordinator's live view of the session for the
+// -status endpoint. Safe to call from any goroutine.
+func (c *Coordinator) Status() Status {
+	now := time.Now()
+	c.mu.Lock()
+	seq, cur := c.seq, c.cur
+	c.mu.Unlock()
+	st := Status{
+		Role:    "coordinator",
+		Parties: len(c.peers) + 1,
+		Self:    0,
+		Seq:     seq,
+		Round:   cur.Round,
+		Name:    cur.Name,
+		Phase:   cur.Phase,
+		Alive:   1,
+		Wire:    c.Stats(),
+	}
+	for _, ps := range c.PeerStats() {
+		if ps.Alive {
+			st.Alive++
+		}
+		st.Peers = append(st.Peers, peerStatus(ps, now))
+	}
+	return st
 }
 
 // Shutdown ends the session in order: every live worker is told there are
@@ -456,8 +568,19 @@ type Worker struct {
 	self    int
 	seq     int
 
-	mu sync.Mutex
-	st Stats
+	// telemetry reflects the coordinator's welcome flag; offsetNs is this
+	// process's handshake-time estimate of (coordinator clock - local
+	// clock); source produces the next batch to ship (set by the host via
+	// SetTelemetrySource).
+	telemetry bool
+	offsetNs  int64
+	source    func() (trace.Telemetry, bool)
+
+	// mu guards st and cur (the Status endpoint reads them from another
+	// goroutine).
+	mu  sync.Mutex
+	st  Stats
+	cur RoundMeta
 }
 
 // DialWorker connects to a coordinator and completes the registration
@@ -470,11 +593,13 @@ func DialWorker(addr string, opts Options) (*Worker, error) {
 	}
 	p := newPeer(conn, 0, opts.PeerTimeout)
 	p.conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+	sentNs := time.Now().UnixNano()
 	if err := p.write(fHello, encodeHello()); err != nil {
 		p.close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	f, err := p.read()
+	recvNs := time.Now().UnixNano()
 	if err != nil {
 		p.close()
 		return nil, fmt.Errorf("transport: awaiting welcome: %w", err)
@@ -487,16 +612,16 @@ func DialWorker(addr string, opts Options) (*Worker, error) {
 		p.close()
 		return nil, fmt.Errorf("transport: coordinator sent %s, want welcome", f.typ)
 	}
-	version, parties, self, table, err := decodeWelcome(f.body)
+	wel, err := decodeWelcome(f.body)
 	if err != nil {
 		p.close()
 		return nil, err
 	}
-	if version != ProtocolVersion {
+	if wel.Version != ProtocolVersion {
 		p.close()
-		return nil, fmt.Errorf("transport: protocol version mismatch: worker %d, coordinator %d", ProtocolVersion, version)
+		return nil, fmt.Errorf("transport: protocol version mismatch: worker %d, coordinator %d", ProtocolVersion, wel.Version)
 	}
-	codec, err := NewCodecFor(table)
+	codec, err := NewCodecFor(wel.Table)
 	if err != nil {
 		p.write(fError, []byte(err.Error()))
 		p.close()
@@ -504,7 +629,49 @@ func DialWorker(addr string, opts Options) (*Worker, error) {
 	}
 	p.conn.SetDeadline(time.Time{})
 	p.start(opts.HeartbeatInterval)
-	return &Worker{opts: opts, p: p, codec: codec, parties: parties, self: self}, nil
+	// NTP-style midpoint: the coordinator stamped its clock somewhere
+	// inside our hello->welcome round trip, so the best local estimate of
+	// "when" is the midpoint. The residual error is bounded by half the
+	// RTT asymmetry — sub-millisecond on one host.
+	offset := wel.ClockNs - (sentNs+recvNs)/2
+	return &Worker{
+		opts: opts, p: p, codec: codec, parties: wel.Parties, self: wel.Self,
+		telemetry: wel.Telemetry, offsetNs: offset,
+	}, nil
+}
+
+// TelemetryEnabled reports whether the coordinator asked for telemetry
+// shipping in its welcome.
+func (w *Worker) TelemetryEnabled() bool { return w.telemetry }
+
+// ClockOffsetNs is the handshake-time estimate of (coordinator clock -
+// local clock) in nanoseconds.
+func (w *Worker) ClockOffsetNs() int64 { return w.offsetNs }
+
+// SetTelemetrySource installs the callback that produces telemetry
+// batches; it is invoked at each round barrier and at job end, and should
+// drain (not re-report) its buffer. The transport stamps Party and
+// OffsetNs on every batch. Call before the first Exchange.
+func (w *Worker) SetTelemetrySource(fn func() (trace.Telemetry, bool)) { w.source = fn }
+
+// flushTelemetry ships one buffered batch if telemetry is on and there is
+// anything to ship. Send errors are dropped: the next mandatory frame on
+// the same conn surfaces the broken wire with better context.
+func (w *Worker) flushTelemetry() {
+	if !w.telemetry || w.source == nil {
+		return
+	}
+	t, ok := w.source()
+	if !ok {
+		return
+	}
+	t.Party = w.self
+	t.OffsetNs = w.offsetNs
+	body, err := w.codec.Encode(nil, t)
+	if err != nil {
+		return
+	}
+	_ = w.p.write(fTelemetry, body)
 }
 
 // Parties implements Transport.
@@ -539,14 +706,23 @@ func (w *Worker) NextJob() ([]byte, error) {
 // round arrives. The merged frame's sequence number and round metadata
 // must match this party's own — the SPMD divergence check.
 func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
+	w.mu.Lock()
 	w.seq++
 	seq := w.seq
+	w.cur = meta
+	w.mu.Unlock()
 	if w.opts.TestDieAtSeq > 0 && seq == w.opts.TestDieAtSeq &&
 		(w.opts.TestDieAtParty == 0 || w.opts.TestDieAtParty == w.self) {
 		// Deterministic mid-round crash for the recovery tests: vanish
 		// without ceremony, exactly like a killed worker process.
 		os.Exit(TestDieExitCode)
 	}
+	// Ship the previous rounds' buffered telemetry first, so everything a
+	// party observed before this barrier is on the coordinator's side of
+	// the wire before (FIFO per conn) this round's records. A worker that
+	// dies mid-round therefore loses at most the events since its last
+	// barrier.
+	w.flushTelemetry()
 	mine := make(map[int]bool, len(local))
 	for _, r := range local {
 		mine[r.Machine] = true
@@ -619,9 +795,43 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 }
 
 // FinishJob ships the worker's end-of-job result digest for the
-// coordinator's cross-check.
+// coordinator's cross-check, flushing any remaining telemetry first (the
+// conn is FIFO, so the coordinator sees the telemetry before the result).
 func (w *Worker) FinishJob(result []byte) error {
+	w.flushTelemetry()
 	return w.p.write(fResult, result)
+}
+
+// Status snapshots the worker's live view of the session for the -status
+// endpoint. Its single peer row is the coordinator link.
+func (w *Worker) Status() Status {
+	now := time.Now()
+	w.mu.Lock()
+	seq, cur := w.seq, w.cur
+	w.mu.Unlock()
+	ps := PeerStats{
+		Party:    0,
+		Alive:    true,
+		BytesIn:  w.p.bytesIn.Load(),
+		BytesOut: w.p.bytesOut.Load(),
+		Frames:   w.p.frames.Load(),
+		RTTP99:   w.p.rttP99(),
+	}
+	if ns := w.p.lastHeardNs.Load(); ns > 0 {
+		ps.LastHeard = time.Unix(0, ns)
+	}
+	return Status{
+		Role:    "worker",
+		Parties: w.parties,
+		Self:    w.self,
+		Seq:     seq,
+		Round:   cur.Round,
+		Name:    cur.Name,
+		Phase:   cur.Phase,
+		Alive:   2,
+		Wire:    w.Stats(),
+		Peers:   []PeerStatus{peerStatus(ps, now)},
+	}
 }
 
 // Stats implements Transport.

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"fmt"
+	"sync"
+	"time"
 )
 
 // Msg is one addressed message in a machine's outbox. Data is the payload
@@ -89,33 +91,115 @@ type Transport interface {
 // Stats are cumulative transport counters. All host-level: a run's
 // deterministic model counters are identical whatever these say.
 type Stats struct {
-	BytesOut  int64 // bytes written to the wire
-	BytesIn   int64 // bytes read from the wire
-	Frames    int64 // frames sent + received
-	Exchanges int   // completed Exchange calls
-	PeersLost int   // peers declared dead (conn error or heartbeat timeout)
-	Reassigns int   // machine batches re-executed after a peer loss
+	BytesOut  int64 `json:"bytesOut"`  // bytes written to the wire
+	BytesIn   int64 `json:"bytesIn"`   // bytes read from the wire
+	Frames    int64 `json:"frames"`    // frames sent + received
+	Exchanges int   `json:"exchanges"` // completed Exchange calls
+	PeersLost int   `json:"peersLost"` // peers declared dead (conn error or heartbeat timeout)
+	Reassigns int   `json:"reassigns"` // machine batches re-executed after a peer loss
+}
+
+// PeerStats breaks a session's wire counters down per peer connection,
+// with the heartbeat round-trip estimate on top. Advisory, like Stats.
+type PeerStats struct {
+	Party     int           `json:"party"` // the remote party's index
+	Alive     bool          `json:"alive"`
+	BytesIn   int64         `json:"bytesIn"`
+	BytesOut  int64         `json:"bytesOut"`
+	Frames    int64         `json:"frames"`
+	RTTP99    time.Duration `json:"rttP99Ns"`  // heartbeat RTT p99 (0 until sampled)
+	LastHeard time.Time     `json:"lastHeard"` // when the last frame arrived (zero before any)
+}
+
+// PeerStatus is PeerStats flattened for the live status endpoint (JSON
+// with millisecond floats instead of Duration/Time).
+type PeerStatus struct {
+	Party       int     `json:"party"`
+	Alive       bool    `json:"alive"`
+	BytesIn     int64   `json:"bytesIn"`
+	BytesOut    int64   `json:"bytesOut"`
+	Frames      int64   `json:"frames"`
+	RTTP99Ms    float64 `json:"rttP99Ms"`
+	LastHeardMs float64 `json:"lastHeardMs"` // ms since the last frame arrived, -1 before any
+}
+
+// Status is a live snapshot of one party's view of the session, shaped
+// for the -status HTTP endpoint: where the deterministic driver is
+// (exchange seq + round metadata), who is alive, and what the wire looks
+// like. All advisory.
+type Status struct {
+	Role    string       `json:"role"` // "coordinator" or "worker"
+	Parties int          `json:"parties"`
+	Self    int          `json:"self"`
+	Seq     int          `json:"seq"` // exchange barriers completed or in flight
+	Round   int          `json:"round"`
+	Name    string       `json:"roundName"`
+	Phase   string       `json:"phase"`
+	Alive   int          `json:"alive"` // live parties, self included
+	Wire    Stats        `json:"wire"`
+	Peers   []PeerStatus `json:"peers"`
+}
+
+// peerStatus converts stats to endpoint shape relative to now.
+func peerStatus(ps PeerStats, now time.Time) PeerStatus {
+	out := PeerStatus{
+		Party: ps.Party, Alive: ps.Alive,
+		BytesIn: ps.BytesIn, BytesOut: ps.BytesOut, Frames: ps.Frames,
+		RTTP99Ms:    float64(ps.RTTP99) / float64(time.Millisecond),
+		LastHeardMs: -1,
+	}
+	if !ps.LastHeard.IsZero() {
+		out.LastHeardMs = float64(now.Sub(ps.LastHeard)) / float64(time.Millisecond)
+	}
+	return out
 }
 
 // Local is the in-process transport: a single party executes everything
-// and Exchange is the identity. This is the seed simulator's shuffle,
-// preserved bit-identically (internal/mpc treats a nil Transport as
-// Local).
-type Local struct{}
+// and Exchange is the identity on the records. The shuffle itself is
+// bit-identical to the seed simulator's (internal/mpc treats a nil
+// Transport as a no-op Local); the only addition is advisory accounting —
+// each Exchange runs the records through the payload codec to measure the
+// bytes an fRecords frame *would* carry, so wireBytes is comparable
+// order-of-magnitude across `-transport local|tcp` instead of reading 0
+// locally. Encoding failures (e.g. an unregistered payload type in a
+// test) silently skip the accounting and never fail the round.
+type Local struct {
+	mu    sync.Mutex
+	codec *Codec
+	st    Stats
+}
+
+// NewLocal returns a counting in-process transport.
+func NewLocal() *Local { return &Local{} }
 
 // Parties implements Transport.
-func (Local) Parties() (int, int) { return 1, 0 }
+func (l *Local) Parties() (int, int) { return 1, 0 }
 
 // Exchange implements Transport: with one party, local is the round.
-func (Local) Exchange(_ RoundMeta, _ [][]int, local []Record, _ ExecFunc) ([]Record, error) {
+func (l *Local) Exchange(meta RoundMeta, _ [][]int, local []Record, _ ExecFunc) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.st.Exchanges++
+	if l.codec == nil {
+		l.codec = NewCodec()
+	}
+	if body, err := encodeRecords(l.codec, l.st.Exchanges, meta, local); err == nil {
+		l.st.BytesOut += int64(len(body)) + frameHeaderLen
+		l.st.Frames++
+	}
 	return local, nil
 }
 
-// Stats implements Transport.
-func (Local) Stats() Stats { return Stats{} }
+// Stats implements Transport, reporting the logical record volume the
+// rounds so far would have put on a wire.
+func (l *Local) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
 
 // Close implements Transport.
-func (Local) Close() error { return nil }
+func (l *Local) Close() error { return nil }
 
 // PeerLossError reports a peer (worker or coordinator) that stopped
 // responding — connection error or heartbeat deadline exceeded — when the
