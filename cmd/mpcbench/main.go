@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +43,7 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
+	"mpcdist/internal/traceio"
 )
 
 func main() {
@@ -55,8 +58,15 @@ func main() {
 	transport := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
 	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
 	telemetry := flag.Bool("telemetry", false, "ship worker trace events during -transport tcp runs (counters must be unaffected)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file; samples carry {algo, phase, round} labels for the Table 1 phase taxonomy, and one fixed large-distance edit case runs after the suite so every phase (partition, candidates, graph, chain) appears")
+	profilerate := flag.Int("profilerate", 0, "CPU profile sampling rate in Hz (0 = runtime default of 100); driver-side phases like partition run for microseconds and need a high rate (e.g. 10000) to accrue samples")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	// SIGQUIT mid-suite (or MPCDIST_FLIGHT_OUT at exit) dumps the flight
+	// recorder; die() runs the finalizer so failures keep their black box.
+	flightDump = traceio.ArmFlight("mpcbench")
+	defer flightDump()
 
 	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries,
 		Transport: *transport, Workers: *workers, Telemetry: *telemetry}
@@ -84,7 +94,46 @@ func main() {
 		}
 	}
 
+	var profFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			die(err)
+		}
+		if *profilerate > 0 {
+			// Must precede StartCPUProfile, whose own SetCPUProfileRate(100)
+			// then no-ops with a runtime warning on stderr; profiling
+			// proceeds at the requested rate. This is the documented
+			// workaround for the fixed default rate.
+			runtime.SetCPUProfileRate(*profilerate)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		profFile = f
+	}
+
 	file, err := harness.RunBench(cfg)
+
+	// Stop and flush the profile before acting on the suite's outcome so
+	// it survives a failed run or a later -compare drift exit; the profile
+	// covers exactly the suite, not the comparison bookkeeping.
+	if profFile != nil {
+		// The suite's planted workloads never leave the small-distance
+		// regime, so drive one large-distance case through the guess
+		// ladder while still profiling: it is the sample source for the
+		// partition and graph labels. Its counters are deliberately not
+		// recorded — the bench output is identical with or without
+		// -cpuprofile.
+		if _, xerr := harness.ExercisePhases(*seed); xerr != nil {
+			die(fmt.Errorf("phase exercise case: %w", xerr))
+		}
+		pprof.StopCPUProfile()
+		if cerr := profFile.Close(); cerr != nil {
+			die(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "mpcbench: wrote CPU profile to %s (go tool pprof -tags shows the algo/phase label breakdown)\n", *cpuprofile)
+	}
 	if err != nil {
 		die(err)
 	}
@@ -118,7 +167,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mpcbench: all %d cases match %s exactly\n", len(file.Results), *compare)
 }
 
+// flightDump is ArmFlight's finalizer; die runs it so os.Exit cannot
+// skip the exit dump a caller asked for via MPCDIST_FLIGHT_OUT.
+var flightDump = func() {}
+
 func die(err error) {
+	flightDump()
 	fmt.Fprintln(os.Stderr, "mpcbench:", err)
 	os.Exit(1)
 }

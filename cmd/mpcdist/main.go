@@ -55,6 +55,13 @@ func main() {
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	// Arm the always-on flight recorder: SIGQUIT and the automatic
+	// triggers (retry exhaustion, peer loss) dump the retained window, and
+	// with MPCDIST_FLIGHT_OUT set the process also dumps on exit — die()
+	// included, so a fatal run still leaves its black box behind.
+	flightDump = traceio.ArmFlight("mpcdist")
+	defer flightDump()
+
 	distAlgos := map[string]string{"mpc": dist.AlgoEditMPC, "hss": dist.AlgoEditHSS, "ulam-mpc": dist.AlgoUlamMPC}
 	switch *transportName {
 	case "local":
@@ -240,8 +247,13 @@ var (
 	tracePath   string
 )
 
+// flightDump is ArmFlight's finalizer; die runs it so os.Exit cannot
+// skip the exit dump a caller asked for via MPCDIST_FLIGHT_OUT.
+var flightDump = func() {}
+
 func die(format string, args ...any) {
 	flushTrace()
+	flightDump()
 	fmt.Fprintf(os.Stderr, "mpcdist: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -61,6 +61,7 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/server"
+	"mpcdist/internal/traceio"
 	"mpcdist/internal/transport"
 )
 
@@ -98,8 +99,15 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "MPC fault-recovery budget per machine-round/message (0 = default)")
 	transportName := flag.String("transport", "local", "MPC execution transport: local (in-process) or tcp (worker cluster)")
 	workers := flag.Int("workers", 3, "worker processes for -transport tcp")
+	statusAddr := flag.String("status", "", "serve live transport.Status JSON at this address (host:port; -transport tcp only)")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Arm the always-on flight recorder: SIGQUIT dumps it, degraded
+	// fallback and MPC retry exhaustion trigger automatic dumps, and
+	// MPCDIST_FLIGHT_OUT opts into a final dump at clean shutdown.
+	flightDump := traceio.ArmFlight("mpcserve")
+	defer flightDump()
 
 	var logger *slog.Logger
 	switch *logFormat {
@@ -126,6 +134,21 @@ func main() {
 		log.Printf("mpcserve: distributed mode: %d worker processes (MPC queries run on the cluster)", *workers)
 	default:
 		log.Fatalf("mpcserve: -transport must be local or tcp (got %q)", *transportName)
+	}
+
+	if *statusAddr != "" {
+		if distRunner == nil {
+			log.Fatalf("mpcserve: -status requires -transport tcp")
+		}
+		// Same live-status server the dist commands use: /status is the
+		// coordinator's transport.Status, /flight and /debug/flight expose
+		// the flight recorder — the trio cmd/mpctop polls.
+		statusSrv, err := dist.StartStatus(*statusAddr, func() any { return distRunner.Status() })
+		if err != nil {
+			log.Fatalf("mpcserve: %v", err)
+		}
+		defer statusSrv.Close()
+		log.Printf("mpcserve: status endpoint at http://%s/status", statusSrv.Addr)
 	}
 
 	srv := server.New(server.Config{

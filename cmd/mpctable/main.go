@@ -45,6 +45,12 @@ func main() {
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	// SIGQUIT mid-sweep (or MPCDIST_FLIGHT_OUT at exit) dumps the flight
+	// recorder's retained window of recent rounds; fail() runs the
+	// finalizer too so a failing sweep still leaves its black box.
+	flightDump = traceio.ArmFlight("mpctable")
+	defer flightDump()
+
 	base := core.Params{Eps: *eps, Seed: *seed, Faults: faultPlan(), MaxRetries: *maxRetries}
 	if base.Faults != nil {
 		fmt.Fprintf(os.Stderr, "mpctable: fault injection active: %s (model counters are unaffected; recovery is exact)\n", base.Faults)
@@ -85,7 +91,12 @@ func main() {
 	}
 }
 
+// flightDump is ArmFlight's finalizer; fail runs it so os.Exit cannot
+// skip the exit dump a caller asked for via MPCDIST_FLIGHT_OUT.
+var flightDump = func() {}
+
 func fail(err error) {
+	flightDump()
 	fmt.Fprintln(os.Stderr, "mpctable:", err)
 	os.Exit(1)
 }

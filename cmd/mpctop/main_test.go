@@ -1,0 +1,148 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mpcdist/internal/server"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
+)
+
+func sampleFrame() frame {
+	return frame{
+		At:       time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Interval: time.Second,
+		Statuses: []statusSample{{
+			URL: "http://c:8081",
+			Status: transport.Status{
+				Role: "coordinator", Parties: 4, Self: 0,
+				Seq: 47, Round: 12, Name: "edit/graph", Phase: "graph", Alive: 4,
+				Wire: transport.Stats{BytesOut: 3 << 20, BytesIn: 5 << 20, Frames: 321, Exchanges: 8},
+				Peers: []transport.PeerStatus{
+					{Party: 1, Alive: true, BytesIn: 1 << 20, BytesOut: 2 << 20, Frames: 100, RTTP99Ms: 0.42, LastHeardMs: 12},
+					{Party: 2, Alive: false, LastHeardMs: -1},
+				},
+			},
+			Flight: &trace.FlightStats{
+				Enabled: true, Events: 12345, Rounds: 200, Spans: 4000, Faults: 3, Transport: 40, Parties: 4,
+				Latency: trace.RoundQuantiles{Window: 200, P50Ms: 1.25, P95Ms: 4.5, P99Ms: 9.75},
+			},
+		}},
+		Metrics: &metricsSample{
+			URL: "http://s:8080",
+			Snap: server.Snapshot{
+				UptimeSeconds: 3600, Requests: 1234, Errors: 2, Degraded: 1, Shed: 5,
+				LatencyBuckets: []float64{0.1, 0.5, 1, 5},
+				Algorithms: map[string]*server.AlgoStats{
+					"ulam-mpc": {Requests: 10, CacheHits: 3, Latency: &server.Histogram{
+						Count: 10, MaxMs: 7.5, Buckets: []uint64{0, 2, 4, 4, 0},
+					}, TotalOps: 999, TotalComm: 555},
+				},
+				Workers: map[int]*server.WorkerAgg{
+					1: {MachineRounds: 120, Ops: 4_500_000, CommWords: 1_200_000, QueueWaitMs: 12.5, WireBytes: 3 << 20},
+					2: {MachineRounds: 118, Ops: 4_400_000, CommWords: 1_100_000, QueueWaitMs: 9.1, WireBytes: 3 << 20},
+				},
+				Transport: &server.TransportJSON{Workers: 3, Alive: 4,
+					Wire: transport.Stats{BytesOut: 1 << 20, BytesIn: 2 << 20, Reassigns: 1}},
+			},
+		},
+	}
+}
+
+// TestRenderFrame pins the dashboard's load-bearing content: every number
+// an operator would act on must appear in the rendered frame.
+func TestRenderFrame(t *testing.T) {
+	var sb strings.Builder
+	render(&sb, sampleFrame())
+	out := sb.String()
+	for _, want := range []string{
+		"SESSION http://c:8081",
+		"coordinator party 0/4",
+		`round 12 "edit/graph" phase=graph seq=47 alive=4/4`,
+		"peersLost=0 reassigns=0",
+		"p50=1.25ms p95=4.50ms p99=9.75ms (window 200)",
+		"3 faults",
+		"DEAD",   // party 2 is down
+		"0.42ms", // party 1 heartbeat RTT p99
+		"SERVER http://s:8080",
+		"1234 requests (2 errors, 0 timeouts, 1 degraded, 5 shed",
+		"alive=4/4",
+		"reassigns=1",
+		"ulam-mpc",
+		"4500000", // party 1 attributed ops
+		"9.10ms",  // party 2 queue wait through msStr's sub-10ms branch
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered frame missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderErrors keeps the dashboard useful when endpoints vanish: a
+// dead session or server renders as unreachable instead of aborting.
+func TestRenderErrors(t *testing.T) {
+	fr := frame{
+		At:       time.Now(),
+		Statuses: []statusSample{{URL: "http://gone:1", Err: http.ErrHandlerTimeout}},
+		Metrics:  &metricsSample{URL: "http://gone:2", Err: http.ErrHandlerTimeout},
+	}
+	var sb strings.Builder
+	render(&sb, fr)
+	out := sb.String()
+	if strings.Count(out, "unreachable:") != 2 {
+		t.Errorf("want 2 unreachable lines, got:\n%s", out)
+	}
+}
+
+// TestPoll exercises the fetch path against a fake status server serving
+// the same routes dist.StartStatus mounts.
+func TestPoll(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"role":"worker","parties":4,"self":2,"seq":9,"round":3,"roundName":"ulam/chain","phase":"chain","alive":4,"wire":{"bytesOut":10,"bytesIn":20,"frames":5,"exchanges":1,"peersLost":0,"reassigns":0},"peers":[]}`))
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"enabled":true,"party":2,"events":7,"rounds":3,"spans":12,"faults":0,"transport":4,"parties":1,"roundLatency":{"window":3,"p50Ms":1,"p95Ms":2,"p99Ms":2}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	fr := poll(&http.Client{Timeout: time.Second}, []string{ts.URL}, "")
+	if len(fr.Statuses) != 1 {
+		t.Fatalf("want 1 status sample, got %d", len(fr.Statuses))
+	}
+	s := fr.Statuses[0]
+	if s.Err != nil {
+		t.Fatalf("poll: %v", s.Err)
+	}
+	if s.Status.Role != "worker" || s.Status.Round != 3 || s.Status.Phase != "chain" {
+		t.Errorf("status = %+v", s.Status)
+	}
+	if s.Flight == nil || !s.Flight.Enabled || s.Flight.Latency.Window != 3 {
+		t.Errorf("flight = %+v", s.Flight)
+	}
+}
+
+func TestHistP50(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	cases := []struct {
+		name string
+		h    *server.Histogram
+		want float64
+	}{
+		{"nil", nil, 0},
+		{"empty", &server.Histogram{Buckets: []uint64{0, 0, 0, 0}}, 0},
+		{"first bucket", &server.Histogram{Count: 4, Buckets: []uint64{3, 1, 0, 0}}, 1},
+		{"middle", &server.Histogram{Count: 10, Buckets: []uint64{2, 6, 2, 0}}, 10},
+		{"overflow", &server.Histogram{Count: 3, MaxMs: 950, Buckets: []uint64{1, 0, 0, 2}}, 950},
+	}
+	for _, tc := range cases {
+		if got := histP50(tc.h, bounds); got != tc.want {
+			t.Errorf("%s: histP50 = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

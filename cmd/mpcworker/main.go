@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"mpcdist/internal/dist"
+	"mpcdist/internal/traceio"
 )
 
 func main() {
@@ -32,5 +33,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(dist.WorkerMainStatus(*addr, *statusAddr))
+	// SIGQUIT (or MPCDIST_FLIGHT_OUT at exit) dumps this worker's flight
+	// recorder — its own lane of recent rounds, attributed to the party
+	// the coordinator's handshake assigns.
+	flightDump := traceio.ArmFlight("mpcworker")
+	code := dist.WorkerMainStatus(*addr, *statusAddr)
+	flightDump()
+	os.Exit(code)
 }

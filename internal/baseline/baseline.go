@@ -56,6 +56,9 @@ func (valueMsg) Words() int { return 1 }
 // directly comparable.
 func HSSEditMPC(s, sbar []byte, p core.Params) (core.Result, error) {
 	p = p.WithDefaults()
+	if p.Algo == "" {
+		p.Algo = "edit-hss"
+	}
 	n, m := len(s), len(sbar)
 	N := n
 	if m > N {

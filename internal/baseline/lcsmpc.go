@@ -32,6 +32,9 @@ import (
 // where near-duplicate detection operates. Rounds per guess: 2.
 func LCSMPC(s, sbar []byte, p core.Params) (core.Result, error) {
 	p = p.WithDefaults()
+	if p.Algo == "" {
+		p.Algo = "lcs-mpc"
+	}
 	n, m := len(s), len(sbar)
 	N := maxInt(n, m)
 	if N == 0 {

@@ -19,6 +19,9 @@ import (
 // max, machines and work = sum).
 func EditMPC(s, sbar []byte, p Params) (Result, error) {
 	p = p.withDefaults()
+	if p.Algo == "" {
+		p.Algo = "edit-mpc"
+	}
 	n, m := len(s), len(sbar)
 	N := maxInt(n, m)
 	if N == 0 {

@@ -146,32 +146,38 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	groupBlocks := maxInt(1, intPow(N, y-yp))
 	numGroups := (nb + groupBlocks - 1) / groupBlocks
 
-	// Global candidate windows on the G' grid (Section 5.2.1).
+	// Global candidate windows on the G' grid (Section 5.2.1). Driver-side
+	// partition work (the block/window decomposition every round consumes),
+	// labeled phase=partition for profiles.
 	grid := maxInt(1, int(epsP*float64(g)/math.Pow(fN, y)))
 	maxWin := int(float64(bsz)/epsP) + 1
 	winIdx := make(map[[2]int]int32)
 	var wins [][2]int
-	for gamma := 0; gamma < m; gamma += grid {
-		for _, kappa := range cand.Ends(gamma, minInt(bsz, n), m, epsP, maxWin, g) {
-			key := [2]int{gamma, kappa}
-			if _, ok := winIdx[key]; !ok {
-				winIdx[key] = int32(len(wins))
-				wins = append(wins, key)
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for gamma := 0; gamma < m; gamma += grid {
+			for _, kappa := range cand.Ends(gamma, minInt(bsz, n), m, epsP, maxWin, g) {
+				key := [2]int{gamma, kappa}
+				if _, ok := winIdx[key]; !ok {
+					winIdx[key] = int32(len(wins))
+					wins = append(wins, key)
+				}
 			}
 		}
-	}
+	})
 	nw := len(wins)
 	nT := nb + nw
 
 	// wOfBlock: window ids usable by a block (starts within g+B of it).
 	wOfBlock := make([][]int32, nb)
-	for wi, w := range wins {
-		for bi, bl := range blocks {
-			if abs(w[0]-bl.l) <= g+bsz {
-				wOfBlock[bi] = append(wOfBlock[bi], int32(wi))
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for wi, w := range wins {
+			for bi, bl := range blocks {
+				if abs(w[0]-bl.l) <= g+bsz {
+					wOfBlock[bi] = append(wOfBlock[bi], int32(wi))
+				}
 			}
 		}
-	}
+	})
 
 	// Node helpers. Node ids: blocks are [0, nb), windows are [nb, nb+nw).
 	nodeStr := func(id int32) []byte {
@@ -240,38 +246,40 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	runIDs := make(map[int32][]int32)
 	runInputs := make(map[int][]mpc.Payload)
 	nextRun := int32(runBase)
-	for bi, bl := range blocks {
-		if !presampled[bi] {
-			continue
-		}
-		ws := wOfBlock[bi]
-		if len(ws) == 0 {
-			continue
-		}
-		perRun := maxInt(1, (budget/2)/maxInt(1, (bsz+maxWin)/8+3))
-		for lo := 0; lo < len(ws); lo += perRun {
-			hi := minInt(lo+perRun, len(ws))
-			segLo, segHi := m, 0
-			var ivs [][2]int
-			for _, wi := range ws[lo:hi] {
-				w := wins[wi]
-				ivs = append(ivs, w)
-				segLo = minInt(segLo, w[0])
-				segHi = maxInt(segHi, w[1])
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for bi, bl := range blocks {
+			if !presampled[bi] {
+				continue
 			}
-			job := &runJob{
-				V: int32(bi), L: bl.l, R: bl.r,
-				Block:  s[bl.l : bl.r+1],
-				SegOff: segLo,
-				Seg:    sbar[segLo : segHi+1],
-				Wins:   ivs,
-				Group:  bi / groupBlocks,
+			ws := wOfBlock[bi]
+			if len(ws) == 0 {
+				continue
 			}
-			runInputs[int(nextRun)] = []mpc.Payload{job}
-			runIDs[int32(bi)] = append(runIDs[int32(bi)], nextRun)
-			nextRun++
+			perRun := maxInt(1, (budget/2)/maxInt(1, (bsz+maxWin)/8+3))
+			for lo := 0; lo < len(ws); lo += perRun {
+				hi := minInt(lo+perRun, len(ws))
+				segLo, segHi := m, 0
+				var ivs [][2]int
+				for _, wi := range ws[lo:hi] {
+					w := wins[wi]
+					ivs = append(ivs, w)
+					segLo = minInt(segLo, w[0])
+					segHi = maxInt(segHi, w[1])
+				}
+				job := &runJob{
+					V: int32(bi), L: bl.l, R: bl.r,
+					Block:  s[bl.l : bl.r+1],
+					SegOff: segLo,
+					Seg:    sbar[segLo : segHi+1],
+					Wins:   ivs,
+					Group:  bi / groupBlocks,
+				}
+				runInputs[int(nextRun)] = []mpc.Payload{job}
+				runIDs[int32(bi)] = append(runIDs[int32(bi)], nextRun)
+				nextRun++
+			}
 		}
-	}
+	})
 
 	// ---- Round 1: representative distances (Algorithm 5) ----
 	// Chunk sizes bounded by both string residency (input side) and the
@@ -281,26 +289,28 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	perChunk = minInt(perChunk, outChunk)
 	r1Inputs := make(map[int][]mpc.Payload)
 	id := 0
-	for rlo := 0; rlo < nR; rlo += perChunk {
-		rhi := minInt(rlo+perChunk, nR)
-		for nlo := 0; nlo < nT; nlo += perChunk {
-			nhi := minInt(nlo+perChunk, nT)
-			batch := &repBatch{RunRouting: make(map[int32][]int32)}
-			for _, z := range reps[rlo:rhi] {
-				batch.RepIDs = append(batch.RepIDs, z)
-				batch.RepStr = append(batch.RepStr, nodeStr(z))
-			}
-			for v := nlo; v < nhi; v++ {
-				batch.NodeIDs = append(batch.NodeIDs, int32(v))
-				batch.NodeStr = append(batch.NodeStr, nodeStr(int32(v)))
-				if v < nb {
-					batch.RunRouting[int32(v)] = runIDs[int32(v)]
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for rlo := 0; rlo < nR; rlo += perChunk {
+			rhi := minInt(rlo+perChunk, nR)
+			for nlo := 0; nlo < nT; nlo += perChunk {
+				nhi := minInt(nlo+perChunk, nT)
+				batch := &repBatch{RunRouting: make(map[int32][]int32)}
+				for _, z := range reps[rlo:rhi] {
+					batch.RepIDs = append(batch.RepIDs, z)
+					batch.RepStr = append(batch.RepStr, nodeStr(z))
 				}
+				for v := nlo; v < nhi; v++ {
+					batch.NodeIDs = append(batch.NodeIDs, int32(v))
+					batch.NodeStr = append(batch.NodeStr, nodeStr(int32(v)))
+					if v < nb {
+						batch.RunRouting[int32(v)] = runIDs[int32(v)]
+					}
+				}
+				r1Inputs[id] = []mpc.Payload{batch}
+				id++
 			}
-			r1Inputs[id] = []mpc.Payload{batch}
-			id++
 		}
-	}
+	})
 
 	repIndex := make(map[int32]int, nR)
 	for i, z := range reps {
@@ -332,21 +342,25 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	}
 
 	// Assemble R2 inputs: joiner passthroughs, selector messages, run jobs.
+	// Inter-round re-distribution is driver-side partition work, same as
+	// the initial decomposition.
 	r2Inputs := make(map[int][]mpc.Payload)
-	for dst, msgs := range r1Out {
-		r2Inputs[dst] = msgs
-	}
-	for i := 0; i < nR; i++ {
-		r2Inputs[i] = append(r2Inputs[i], joinState{Z: int32(i), Block: int(reps[i]) < nb})
-	}
-	for dst, pls := range runInputs {
-		r2Inputs[dst] = append(r2Inputs[dst], pls...)
-	}
-	for gi := 0; gi < numGroups; gi++ {
-		if _, ok := r2Inputs[selBase+gi]; !ok {
-			r2Inputs[selBase+gi] = []mpc.Payload{}
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for dst, msgs := range r1Out {
+			r2Inputs[dst] = msgs
 		}
-	}
+		for i := 0; i < nR; i++ {
+			r2Inputs[i] = append(r2Inputs[i], joinState{Z: int32(i), Block: int(reps[i]) < nb})
+		}
+		for dst, pls := range runInputs {
+			r2Inputs[dst] = append(r2Inputs[dst], pls...)
+		}
+		for gi := 0; gi < numGroups; gi++ {
+			if _, ok := r2Inputs[selBase+gi]; !ok {
+				r2Inputs[selBase+gi] = []mpc.Payload{}
+			}
+		}
+	})
 
 	dFilterLen := func(winLen int) int { return bsz + winLen } // skip-dominance filter
 	var extReqs [][4]int                                       // collected driver-side from R2 emissions
@@ -460,38 +474,40 @@ func editLarge(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	// are deduplicated and repacked across extension machines with their
 	// string content injected (distributed-storage read).
 	r3Inputs := make(map[int][]mpc.Payload)
-	for dst, msgs := range r2Out {
-		if dst == extBase {
-			for _, pl := range msgs {
-				r := pl.(mpc.Ints)
-				extReqs = append(extReqs, [4]int{r[0], r[1], r[2], r[3]})
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/large/partition", func() {
+		for dst, msgs := range r2Out {
+			if dst == extBase {
+				for _, pl := range msgs {
+					r := pl.(mpc.Ints)
+					extReqs = append(extReqs, [4]int{r[0], r[1], r[2], r[3]})
+				}
+				continue
 			}
-			continue
+			r3Inputs[dst] = msgs
 		}
-		r3Inputs[dst] = msgs
-	}
-	seenReq := make(map[[4]int]bool)
-	perExt := maxInt(1, (budget/2)/maxInt(1, (bsz+maxWin)/8+8))
-	extID := extBase
-	cnt := 0
-	for _, rq := range extReqs {
-		if seenReq[rq] {
-			continue
+		seenReq := make(map[[4]int]bool)
+		perExt := maxInt(1, (budget/2)/maxInt(1, (bsz+maxWin)/8+8))
+		extID := extBase
+		cnt := 0
+		for _, rq := range extReqs {
+			if seenReq[rq] {
+				continue
+			}
+			seenReq[rq] = true
+			r3Inputs[extID] = append(r3Inputs[extID], &extJob{
+				L: rq[0], R: rq[1], G: rq[2], K: rq[3],
+				Block: s[rq[0] : rq[1]+1],
+				Win:   sbar[rq[2] : rq[3]+1],
+			})
+			cnt++
+			if cnt%perExt == 0 {
+				extID++
+			}
 		}
-		seenReq[rq] = true
-		r3Inputs[extID] = append(r3Inputs[extID], &extJob{
-			L: rq[0], R: rq[1], G: rq[2], K: rq[3],
-			Block: s[rq[0] : rq[1]+1],
-			Win:   sbar[rq[2] : rq[3]+1],
-		})
-		cnt++
-		if cnt%perExt == 0 {
-			extID++
+		if _, ok := r3Inputs[passID]; !ok {
+			r3Inputs[passID] = []mpc.Payload{}
 		}
-	}
-	if _, ok := r3Inputs[passID]; !ok {
-		r3Inputs[passID] = []mpc.Payload{}
-	}
+	})
 
 	r3Out, err := cl.Run("edit-large/extend", trace.PhaseGraph, r3Inputs, func(x *mpc.Ctx, in []mpc.Payload) {
 		if x.Machine < nR {

@@ -80,29 +80,32 @@ func editSmall(s, sbar []byte, g int, p Params) (int, mpc.Report, error) {
 	maxWin := int(float64(bsz)/epsP) + 1
 
 	// Distribute: for each block, runs of eta = B/G consecutive starts.
+	// Driver-side block partition, labeled phase=partition for profiles.
 	eta := maxInt(1, bsz/grid)
 	inputs := make(map[int][]mpc.Payload)
-	id := 0
-	for l := 0; l < n; l += bsz {
-		r := minInt(l+bsz-1, n-1)
-		starts := cand.Starts(l, g, grid, m)
-		for lo := 0; lo < len(starts); lo += eta {
-			hi := minInt(lo+eta, len(starts))
-			run := starts[lo:hi]
-			segLo := run[0]
-			segHi := minInt(run[len(run)-1]+maxWin, m)
-			inputs[id] = []mpc.Payload{&editJob{
-				L: l, R: r,
-				Block:  s[l : r+1],
-				SegOff: segLo,
-				Seg:    sbar[segLo:segHi],
-				Starts: append([]int(nil), run...),
-				Guess:  g,
-				MaxWin: maxWin,
-			}}
-			id++
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "edit/small/partition", func() {
+		id := 0
+		for l := 0; l < n; l += bsz {
+			r := minInt(l+bsz-1, n-1)
+			starts := cand.Starts(l, g, grid, m)
+			for lo := 0; lo < len(starts); lo += eta {
+				hi := minInt(lo+eta, len(starts))
+				run := starts[lo:hi]
+				segLo := run[0]
+				segHi := minInt(run[len(run)-1]+maxWin, m)
+				inputs[id] = []mpc.Payload{&editJob{
+					L: l, R: r,
+					Block:  s[l : r+1],
+					SegOff: segLo,
+					Seg:    sbar[segLo:segHi],
+					Starts: append([]int(nil), run...),
+					Guess:  g,
+					MaxWin: maxWin,
+				}}
+				id++
+			}
 		}
-	}
+	})
 	collector := 0
 	if len(inputs) == 0 {
 		// No blocks (empty s) or no starts (empty sbar): trivial answer.

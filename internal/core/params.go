@@ -58,6 +58,11 @@ type Params struct {
 	// MaxRetries is the per-machine-round / per-message recovery budget
 	// (0 = mpc.DefaultMaxRetries).
 	MaxRetries int
+	// Algo names the pipeline for profiler labels and the flight recorder
+	// ("ulam-mpc", "edit-mpc", ...). The drivers fill it in on entry when
+	// empty, so callers never need to set it; it is advisory observability
+	// metadata and never feeds a counter.
+	Algo string
 	// Transport, when non-nil, runs every cluster round over the given
 	// shuffle transport (see internal/transport and internal/dist): the
 	// round's machines are partitioned across the transport's parties and
@@ -146,6 +151,7 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		Observer:     p.Observer,
 		Faults:       p.Faults,
 		MaxRetries:   p.MaxRetries,
+		Algo:         p.Algo,
 		Transport:    p.Transport,
 	})
 }

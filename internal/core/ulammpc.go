@@ -47,6 +47,9 @@ func (chainMsg) Words() int { return 5 }
 // It requires 0 < X < 1/2.
 func UlamMPC(s, sbar []int, p Params) (Result, error) {
 	p = p.withDefaults()
+	if p.Algo == "" {
+		p.Algo = "ulam-mpc"
+	}
 	n := maxInt(len(s), len(sbar))
 	if err := p.validate(n, 0.5); err != nil {
 		return Result{}, err
@@ -63,23 +66,27 @@ func UlamMPC(s, sbar []int, p Params) (Result, error) {
 	cl := p.cluster(n)
 
 	// Distribute: one machine per block, carrying the block's match pairs.
-	pos := make(map[int]int, len(sbar))
-	for q, v := range sbar {
-		pos[v] = q
-	}
+	// This is driver-side block partition (the simulator's drivers
+	// partition outside rounds), labeled phase=partition for CPU profiles.
 	inputs := make(map[int][]mpc.Payload)
-	blockID := 0
-	for l := 0; l < len(s); l += bsz {
-		r := minInt(l+bsz-1, len(s)-1)
-		job := &ulamJob{L: l, R: r, SbarLen: len(sbar)}
-		for pRel := 0; pRel <= r-l; pRel++ {
-			if q, ok := pos[s[l+pRel]]; ok {
-				job.Pairs = append(job.Pairs, ulam.Pair{P: pRel, Q: q})
-			}
+	trace.LabelPhase(p.Algo, trace.PhasePartition, "ulam/partition", func() {
+		pos := make(map[int]int, len(sbar))
+		for q, v := range sbar {
+			pos[v] = q
 		}
-		inputs[blockID] = []mpc.Payload{job}
-		blockID++
-	}
+		blockID := 0
+		for l := 0; l < len(s); l += bsz {
+			r := minInt(l+bsz-1, len(s)-1)
+			job := &ulamJob{L: l, R: r, SbarLen: len(sbar)}
+			for pRel := 0; pRel <= r-l; pRel++ {
+				if q, ok := pos[s[l+pRel]]; ok {
+					job.Pairs = append(job.Pairs, ulam.Pair{P: pRel, Q: q})
+				}
+			}
+			inputs[blockID] = []mpc.Payload{job}
+			blockID++
+		}
+	})
 	if len(s) == 0 {
 		// Degenerate: nothing to transform; cost is inserting all of sbar.
 		return Result{Value: len(sbar), Report: cl.Report()}, nil

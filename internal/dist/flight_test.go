@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"mpcdist/internal/trace"
+)
+
+// TestFlightRecorderParity extends the observability contract to the
+// always-on flight recorder: the same jobs over TCP with the recorder on
+// (the default) and hard-off (in-process switch plus MPCDIST_FLIGHT=off
+// in every worker's environment) must produce bit-identical deterministic
+// results — and both must match the local run.
+func TestFlightRecorderParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	prev := trace.FlightEnabled()
+	defer trace.SetFlightEnabled(prev)
+
+	trace.SetFlightEnabled(true)
+	trace.Flight().Reset()
+	on, err := NewSession(SessionOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	var resOn []core2
+	for _, job := range parityJobs() {
+		local, lerr := runLocal(job)
+		r, rerr := on.Run(job)
+		checkParity(t, job.Algo+"/flight-on", local, lerr, r, rerr)
+		resOn = append(resOn, core2{normalize(r), errStr(rerr)})
+	}
+	if st := trace.Flight().Stats(); st.Rounds == 0 || st.Parties < 2 {
+		t.Errorf("recorder saw nothing during the flight-on run: %+v", st)
+	}
+
+	trace.SetFlightEnabled(false)
+	off, err := NewSession(SessionOptions{
+		Workers:   3,
+		Stderr:    io.Discard,
+		WorkerEnv: []string{"MPCDIST_FLIGHT=off"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	for i, job := range parityJobs() {
+		local, lerr := runLocal(job)
+		r, rerr := off.Run(job)
+		checkParity(t, job.Algo+"/flight-off", local, lerr, r, rerr)
+		got := core2{normalize(r), errStr(rerr)}
+		if !reflect.DeepEqual(resOn[i], got) {
+			t.Errorf("%s: recorder on/off results differ:\non:  %+v\noff: %+v", job.Algo, resOn[i], got)
+		}
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// core2 pairs a normalized result with its error string for on/off diffs.
+type core2 struct {
+	Res any
+	Err string
+}
+
+// TestFlightDumpFromSession is the dump acceptance path: after a TCP run
+// with no telemetry consumer attached, the coordinator's process-global
+// recorder must already hold every party's recent rounds plus transport
+// events, and its dump must be a valid cluster trace — the same bytes
+// /debug/flight and SIGQUIT write.
+func TestFlightDumpFromSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	prev := trace.FlightEnabled()
+	defer trace.SetFlightEnabled(prev)
+	trace.SetFlightEnabled(true)
+	trace.Flight().Reset()
+
+	sess, err := NewSession(SessionOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run(parityJobs()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	st := trace.Flight().Stats()
+	if st.Parties != 4 {
+		t.Errorf("recorder parties = %d, want 4 (coordinator + 3 workers)", st.Parties)
+	}
+	if st.Rounds == 0 || st.Spans == 0 || st.Transport == 0 {
+		t.Errorf("recorder retained rounds=%d spans=%d transport=%d, want all > 0", st.Rounds, st.Spans, st.Transport)
+	}
+	if st.Latency.Window == 0 {
+		t.Error("no round latencies in the rolling window")
+	}
+
+	file := decodeClusterTrace(t, trace.Flight().Dump())
+	names := processNames(file)
+	// One lane per party, the transport lane, and the recorder's own
+	// quantile lane on top.
+	wantLanes := []string{"coordinator (party 0)", "worker (party 1)", "worker (party 2)", "worker (party 3)", "transport", "flight recorder"}
+	byName := map[string]bool{}
+	for _, n := range names {
+		byName[n] = true
+	}
+	for _, n := range wantLanes {
+		if !byName[n] {
+			t.Errorf("dump missing lane %q (have %v)", n, names)
+		}
+	}
+	spansPerPid := map[int]int{}
+	sawQuantiles := false
+	for _, ev := range file.TraceEvents {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("negative time in dump: %+v", ev)
+		}
+		if ev.Ph == "X" && ev.Tid > 0 && ev.Pid <= 3 {
+			spansPerPid[ev.Pid]++
+		}
+		if ev.Name == "round-latency" {
+			sawQuantiles = true
+		}
+	}
+	for pid := 0; pid <= 3; pid++ {
+		if spansPerPid[pid] == 0 {
+			t.Errorf("party %d has no machine spans in the dump", pid)
+		}
+	}
+	if !sawQuantiles {
+		t.Error("dump missing the round-latency quantile event")
+	}
+
+	// The HTTP dump endpoint serves the same recorder; a smoke GET must
+	// return a decodable trace while the recorder is enabled...
+	srv, err := StartStatus("127.0.0.1:0", func() any { return sess.Status() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/flight = %d, want 200", resp.StatusCode)
+	}
+	// ...and refuse with 503 when it is off.
+	trace.SetFlightEnabled(false)
+	resp, err = http.Get("http://" + srv.Addr + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("disabled /debug/flight = %d, want 503", resp.StatusCode)
+	}
+}

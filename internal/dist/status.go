@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"mpcdist/internal/trace"
 )
 
 // StartStatus serves a live JSON status snapshot over HTTP at addr
@@ -13,6 +15,12 @@ import (
 // snap()'s JSON encoding, recomputed per request, so `watch curl
 // localhost:8081/status` follows a running session. The returned server
 // is already listening; Close it to stop.
+//
+// Two flight-recorder routes ride along: GET /flight returns the
+// process-global recorder's live trace.FlightStats (rolling round-latency
+// quantiles and retained-event counts; what cmd/mpctop polls), and GET
+// /debug/flight writes the recorder's dump — the merged Chrome trace of
+// the retained window — without interrupting the run.
 //
 // snap typically returns a transport.Status (coordinator or worker view).
 // Everything served is advisory host-level state; the endpoint never
@@ -32,6 +40,15 @@ func StartStatus(addr string, snap func() any) (*http.Server, error) {
 		}
 	}
 	mux.HandleFunc("/status", serve)
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(trace.Flight().Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/flight", FlightDumpHandler)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -44,4 +61,21 @@ func StartStatus(addr string, snap func() any) (*http.Server, error) {
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return srv, nil
+}
+
+// FlightDumpHandler serves the process-global flight recorder's dump as a
+// Chrome trace-event file (the format cmd/tracecheck validates). It is
+// mounted at /debug/flight on the dist status servers and the mpcserve
+// ops listener, and usable on any custom mux.
+func FlightDumpHandler(w http.ResponseWriter, r *http.Request) {
+	if !trace.FlightEnabled() {
+		http.Error(w, "flight recorder disabled (MPCDIST_FLIGHT=off)", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="flight.json"`)
+	if _, err := trace.Flight().Dump().WriteTo(w); err != nil {
+		// Headers are gone; the trailing write error is all we can log.
+		return
+	}
 }

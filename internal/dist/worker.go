@@ -89,10 +89,17 @@ func WorkerMainStatus(addr, statusAddr string) int {
 // party's share of each round's machines), ship the result digest, and
 // repeat until the coordinator shuts the session down.
 func Serve(w *transport.Worker) error {
-	// When the coordinator's welcome asked for telemetry, every job's
-	// driver observes into a collector, and the transport drains it at
-	// each round barrier (plus job end) into fTelemetry frames. The
-	// observer changes nothing deterministic — it only records.
+	// The worker's own flight recorder labels its lane with the party the
+	// handshake assigned, so a SIGQUIT dump of a worker process is
+	// attributed correctly.
+	if _, self := w.Parties(); self > 0 {
+		trace.Flight().SetParty(self)
+	}
+	// When the coordinator's welcome asked for telemetry — which it also
+	// does whenever its flight recorder is on — every job's driver
+	// observes into a collector, and the transport drains it at each
+	// round barrier (plus job end) into fTelemetry frames. The observer
+	// changes nothing deterministic — it only records.
 	var col *trace.Collector
 	if w.TelemetryEnabled() {
 		col = &trace.Collector{}

@@ -11,9 +11,13 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
 	"mpcdist/internal/workload"
 )
+
+// msOf converts a duration to fractional milliseconds for the JSON record.
+func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // The bench suite runs the workload generators across sizes and records
 // every deterministic model counter (ops, comm words, rounds, machines,
@@ -99,6 +103,12 @@ type BenchResult struct {
 	Retries   int          `json:"retries"`
 	Phases    []BenchPhase `json:"phases"`
 	ElapsedMs float64      `json:"elapsedMs"` // wall time; compared with tolerance only
+	// RoundP50Ms/P95Ms/P99Ms are round-latency quantiles (nearest rank)
+	// over the case's per-round machine-execution wall times. Advisory
+	// like ElapsedMs: reported, warned about under -tol, never gated.
+	RoundP50Ms float64 `json:"roundP50Ms,omitempty"`
+	RoundP95Ms float64 `json:"roundP95Ms,omitempty"`
+	RoundP99Ms float64 `json:"roundP99Ms,omitempty"`
 	// WireBytes is the case's transport traffic (both directions, all
 	// workers). Local runs count the logical codec encoding of each
 	// exchange, tcp runs the real wire (framing and handshakes included),
@@ -320,6 +330,11 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 			if err != nil {
 				return BenchFile{}, fmt.Errorf("harness: bench %s/%s n=%d: %w", bc.algo, bc.workload, n, err)
 			}
+			times := make([]time.Duration, 0, len(res.Report.Rounds))
+			for _, rs := range res.Report.Rounds {
+				times = append(times, rs.Elapsed)
+			}
+			rq := trace.Quantiles(times)
 			file.Results = append(file.Results, BenchResult{
 				Name:     fmt.Sprintf("%s/%s/n=%d", bc.algo, bc.workload, n),
 				Algo:     bc.algo,
@@ -336,6 +351,9 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				Retries:     res.Report.Retries,
 				Phases:      benchPhases(res.Report),
 				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
+				RoundP50Ms:  msOf(rq.P50),
+				RoundP95Ms:  msOf(rq.P95),
+				RoundP99Ms:  msOf(rq.P99),
 				WireBytes:   wireBytes() - wireStart,
 			})
 		}
@@ -398,12 +416,25 @@ func CompareBench(old, cur BenchFile, wallTol float64) (diffs, warnings []string
 				pf("commWords", op.CommWords, np.CommWords)
 			}
 		}
-		if wallTol > 1 && or.ElapsedMs > 0 && nr.ElapsedMs > 0 {
-			ratio := nr.ElapsedMs / or.ElapsedMs
-			if ratio > wallTol || ratio < 1/wallTol {
-				warnings = append(warnings, fmt.Sprintf("%s: wall time %.2fms -> %.2fms (%.2fx)",
-					nr.Name, or.ElapsedMs, nr.ElapsedMs, ratio))
+		if wallTol > 1 {
+			// Wall time and round-latency quantiles are host quantities:
+			// warned about beyond the tolerance factor, never gated. The
+			// o > 0 guard also skips baselines recorded before the
+			// quantile fields existed.
+			warn := func(field string, o, n float64) {
+				if o <= 0 || n <= 0 {
+					return
+				}
+				ratio := n / o
+				if ratio > wallTol || ratio < 1/wallTol {
+					warnings = append(warnings, fmt.Sprintf("%s: %s %.2fms -> %.2fms (%.2fx)",
+						nr.Name, field, o, n, ratio))
+				}
 			}
+			warn("wall time", or.ElapsedMs, nr.ElapsedMs)
+			warn("round p50", or.RoundP50Ms, nr.RoundP50Ms)
+			warn("round p95", or.RoundP95Ms, nr.RoundP95Ms)
+			warn("round p99", or.RoundP99Ms, nr.RoundP99Ms)
 		}
 	}
 	for _, r := range old.Results {

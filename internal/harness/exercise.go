@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"math/rand"
+
+	"mpcdist/internal/core"
+)
+
+// ExercisePhases runs one fixed large-distance edit instance whose guess
+// ladder crosses the small/large cutover: the sub-cutover attempts execute
+// the Lemma 6 pipeline (partition, candidates, chain) and the final guess
+// executes the Lemma 8 pipeline (partition, graph, chain), so a CPU
+// profile spanning the call carries samples for all four Table 1 phase
+// labels from a single MPC case. mpcbench drives it under -cpuprofile;
+// it is never part of the suite's deterministic output, so adding or
+// changing it cannot shift the bench baseline.
+//
+// The inputs use disjoint alphabets, which pins the edit distance at n —
+// far above every planted-workload distance in the suite and the only way
+// the ladder escapes the small regime's (1+eps)-acceptance at these sizes.
+func ExercisePhases(seed int64) (core.Result, error) {
+	const n = 384
+	rng := rand.New(rand.NewSource(seed*6151 + int64(n)))
+	s := make([]byte, n)
+	sbar := make([]byte, n)
+	for i := range s {
+		s[i] = byte('A' + rng.Intn(4))
+		sbar[i] = byte('W' + rng.Intn(4))
+	}
+	res, err := core.EditMPC(s, sbar, core.Params{X: 0.25, Seed: seed})
+	if err != nil {
+		return res, err
+	}
+
+	// The partition phase is driver-side and runs for well under a
+	// millisecond per case above — too brief for the OS profile timer to
+	// hit. Disjoint-value Ulam inputs invert the ratio: the O(n) match-pair
+	// partition is the whole cost because every block's candidate set is
+	// empty and the rounds are trivial, so a few large repetitions give
+	// the partition label tens of milliseconds of CPU to sample.
+	const (
+		ulamN    = 200_000
+		ulamReps = 5
+	)
+	p := make([]int, ulamN)
+	q := make([]int, ulamN)
+	for i := range p {
+		p[i] = i
+		q[i] = i + ulamN
+	}
+	for r := 0; r < ulamReps; r++ {
+		if _, uerr := core.UlamMPC(p, q, core.Params{X: 0.3, Seed: seed + int64(r)}); uerr != nil {
+			return res, uerr
+		}
+	}
+	return res, nil
+}

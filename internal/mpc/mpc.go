@@ -23,9 +23,11 @@ package mpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -86,6 +88,12 @@ type Config struct {
 	// made before Run fails with *fault.CrashError or *fault.DropError.
 	// Zero means DefaultMaxRetries.
 	MaxRetries int
+	// Algo names the pipeline this cluster executes ("ulam-mpc",
+	// "edit-mpc", ...). It is advisory observability metadata: it becomes
+	// the "algo" goroutine profiler label on every simulated machine (see
+	// internal/trace.PhaseLabels) and never feeds a counter. Empty is
+	// fine; profiles then show algo=unlabeled.
+	Algo string
 	// Transport, when non-nil, is the shuffle transport the cluster runs
 	// over (see internal/transport): machine ids are partitioned across
 	// the transport's parties by input weight, each party executes its
@@ -211,16 +219,22 @@ func (r Report) String() string {
 // construct with NewCluster.
 type Cluster struct {
 	cfg     Config
+	obs     trace.Observer // cfg.Observer with the flight recorder composed in
 	rounds  []RoundStats
 	workers []WorkerStats
 }
 
-// NewCluster returns a cluster with the given configuration.
+// NewCluster returns a cluster with the given configuration. The
+// process-global flight recorder (trace.Flight) is composed into the
+// effective observer here — once, at construction — so every cluster in
+// the process feeds the recorder by default; trace.SetFlightEnabled /
+// MPCDIST_FLIGHT=off opt out. The recorder is out-of-band: it never
+// changes a deterministic counter or the cfg the caller sees via Config().
 func NewCluster(cfg Config) *Cluster {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Cluster{cfg: cfg}
+	return &Cluster{cfg: cfg, obs: trace.WithFlight(cfg.Observer)}
 }
 
 // Config returns the cluster's configuration.
@@ -391,12 +405,31 @@ func PayloadWords(in []Payload) int {
 // inside the machine goroutine.
 func (x *Ctx) span(name string) trace.MachineSpan {
 	outWords, fanout := 0, 0
-	seen := make(map[int]struct{}, 8)
-	for _, m := range x.out {
-		outWords += m.Data.Words()
-		if _, ok := seen[m.To]; !ok {
-			seen[m.To] = struct{}{}
-			fanout++
+	if len(x.out) <= 32 {
+		// Typical outboxes are a handful of messages; a quadratic scan
+		// avoids a per-machine map allocation, which dominated the
+		// observer's cost on trivial rounds.
+		for i, m := range x.out {
+			outWords += m.Data.Words()
+			dup := false
+			for j := 0; j < i; j++ {
+				if x.out[j].To == m.To {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fanout++
+			}
+		}
+	} else {
+		seen := make(map[int]struct{}, 32)
+		for _, m := range x.out {
+			outWords += m.Data.Words()
+			if _, ok := seen[m.To]; !ok {
+				seen[m.To] = struct{}{}
+				fanout++
+			}
 		}
 	}
 	return trace.MachineSpan{
@@ -440,7 +473,7 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	}
 	round := len(c.rounds)
 	st := RoundStats{Name: name, Phase: phase, Machines: len(inputs)}
-	obs := c.cfg.Observer
+	obs := c.obs
 	ctx := c.cfg.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -450,7 +483,10 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	}
 	// fail closes the round for observers on pre-flight and post-run
 	// errors, so a violation is visible on a trace, not only in the error.
+	// Retry-budget exhaustion additionally fires the flight recorder's
+	// auto-dump: the retained window is the post-mortem for it.
 	fail := func(err error) error {
+		triggerFlightOnExhaustion(err)
 		if obs != nil {
 			sum := summary(round, &st)
 			sum.Err = err.Error()
@@ -515,6 +551,12 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		c: c, ctx: ctx, round: round, name: name, phase: phase, obs: obs,
 		inputs: inputs, inWords: inWordsByID, fn: fn, base: time.Now(),
 		plan: plan, active: active, maxRetries: maxRetries,
+	}
+	if trace.PhaseLabelsEnabled() {
+		// One label set per round; every machine goroutine of the round
+		// (including transport-driven re-executions) runs under it, so CPU
+		// profiles attribute samples to {algo, phase, round}.
+		re.labels, re.labeled = trace.PhaseLabels(c.cfg.Algo, phase, name), true
 	}
 
 	local, err := re.run(myIDs)
@@ -729,9 +771,23 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 		obs.RoundEnd(sum)
 	}
 	if firstErr != nil {
+		triggerFlightOnExhaustion(firstErr)
 		return nil, firstErr
 	}
 	return next, nil
+}
+
+// triggerFlightOnExhaustion fires the flight recorder's auto-dump when a
+// round failed because a machine or message exhausted its recovery budget
+// — the failures the recorder's retained window exists to explain. Other
+// errors (memory violations, cancellation) are deterministic and
+// reproducible, so they don't warrant a dump.
+func triggerFlightOnExhaustion(err error) {
+	var ce *fault.CrashError
+	var de *fault.DropError
+	if errors.As(err, &ce) || errors.As(err, &de) {
+		trace.FlightTrigger("mpc: " + err.Error())
+	}
 }
 
 // roundExec binds one round's immutable context — inputs, seed streams,
@@ -754,6 +810,8 @@ type roundExec struct {
 	plan       *fault.Plan
 	active     bool
 	maxRetries int
+	labels     pprof.LabelSet // {algo, phase, round} profiler labels
+	labeled    bool
 }
 
 // run executes the given machines concurrently (bounded by the cluster's
@@ -776,6 +834,12 @@ func (re *roundExec) run(ids []int) ([]transport.Record, error) {
 		wg.Add(1)
 		go func(k, id int, in []Payload) {
 			defer wg.Done()
+			if re.labeled {
+				// The labels live for the goroutine's lifetime; no unset
+				// needed. Applied before the semaphore so profiles also
+				// attribute scheduler/queueing samples to the round.
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), re.labels))
+			}
 			spawned := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()

@@ -466,6 +466,16 @@ func BenchmarkStreamSeedFmtFNV(b *testing.B) {
 // benchRun drives one round over many trivial machines, the regime where
 // per-event observer overhead would show up.
 func benchRun(b *testing.B, obs trace.Observer) {
+	benchRunBody(b, obs, 0)
+}
+
+// benchRunBody is benchRun with `work` iterations of deterministic compute
+// per machine. work = 0 is the trivial-machine stress shape (isolates
+// per-event dispatch cost); the recorder pair uses a body sized like the
+// smallest real machine loads (a few microseconds — every actual phase
+// machine processes at least a block of n^{1-x} elements), because that is
+// the regime the always-on overhead budget is stated for.
+func benchRunBody(b *testing.B, obs trace.Observer, work int) {
 	in := map[int][]Payload{}
 	for id := 0; id < 256; id++ {
 		in[id] = []Payload{Int(id)}
@@ -474,16 +484,49 @@ func benchRun(b *testing.B, obs trace.Observer) {
 	for i := 0; i < b.N; i++ {
 		c := NewCluster(Config{Observer: obs})
 		if _, err := c.Run("bench", trace.PhaseCandidates, in, func(x *Ctx, in []Payload) {
-			x.Ops(1)
-			x.Send(0, Int(1))
+			acc := uint64(int(in[0].(Int)))
+			for j := 0; j < work; j++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			x.Ops(int64(1 + work))
+			x.Send(0, Int(acc&1))
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkRunNoObserver(b *testing.B)  { benchRun(b, nil) }
-func BenchmarkRunNopObserver(b *testing.B) { benchRun(b, trace.Base{}) }
+// setFlight pins the process-global flight recorder on or off for one
+// benchmark, restoring the previous state after. The observer pair runs
+// recorder-off so it still isolates Observer-dispatch cost; the recorder
+// pair measures the recorder itself against the same no-observer baseline
+// (EXPERIMENTS.md records the overhead, budgeted at <= 3%).
+func setFlight(b *testing.B, on bool) {
+	b.Helper()
+	prev := trace.FlightEnabled()
+	trace.SetFlightEnabled(on)
+	if on {
+		trace.Flight().Reset()
+	}
+	b.Cleanup(func() { trace.SetFlightEnabled(prev) })
+}
+
+func BenchmarkRunNoObserver(b *testing.B)  { setFlight(b, false); benchRun(b, nil) }
+func BenchmarkRunNopObserver(b *testing.B) { setFlight(b, false); benchRun(b, trace.Base{}) }
+
+// recorderBenchWork sizes the recorder pair's machine body (~5000 mul-add
+// steps, single-digit microseconds): conservative against the smallest
+// real rounds, which run full block computations per machine.
+const recorderBenchWork = 5000
+
+func BenchmarkRunNoRecorder(b *testing.B) {
+	setFlight(b, false)
+	benchRunBody(b, nil, recorderBenchWork)
+}
+func BenchmarkRunRecorder(b *testing.B) {
+	setFlight(b, true)
+	benchRunBody(b, nil, recorderBenchWork)
+}
 
 func BenchmarkCtxRand(b *testing.B) {
 	c := NewCluster(Config{Seed: 1})

@@ -1,14 +1,21 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+
+	"mpcdist/internal/dist"
+	"mpcdist/internal/trace"
 )
 
-// OpsHandler serves the operator-only endpoints: the Go pprof suite plus
-// a copy of /metrics. It is intentionally not part of Handler() — profiles
-// expose memory contents and must stay off the query port; mpcserve mounts
-// this on a separate opt-in listener (-ops).
+// OpsHandler serves the operator-only endpoints: the Go pprof suite
+// (whose CPU profiles carry the {algo, phase, round} goroutine labels the
+// simulator applies — see internal/trace.PhaseLabels), the process-global
+// flight recorder's dump at /debug/flight with its live stats at /flight,
+// plus a copy of /metrics. It is intentionally not part of Handler() —
+// profiles and dumps expose memory contents and must stay off the query
+// port; mpcserve mounts this on a separate opt-in listener (-ops).
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -16,6 +23,20 @@ func (s *Server) OpsHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flight", dist.FlightDumpHandler)
+	mux.HandleFunc("GET /flight", handleFlightStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleFlightStats serves the flight recorder's live summary (retained
+// counts + rolling round-latency quantiles) as JSON — the lightweight
+// poll target, next to the full dump at /debug/flight.
+func handleFlightStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(trace.Flight().Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -390,6 +390,10 @@ func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpc
 		if err == nil {
 			a.Degraded = true
 			s.metrics.ObserveDegraded()
+			// A degraded answer means the exact kernel missed its deadline —
+			// exactly the situation the flight recorder's retained window
+			// (straggling rounds, queue waits, faults) exists to explain.
+			trace.FlightTrigger("server: degraded fallback (" + q.Algo + ")")
 		}
 	}
 	return a, err

@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endRound feeds one completed round with the given elapsed time.
+func endRound(f *FlightRecorder, i int, elapsed time.Duration) {
+	start := time.Unix(1, 0)
+	f.RoundStart(RoundInfo{Round: i, Name: fmt.Sprintf("r%d", i), Phase: PhaseCandidates, Machines: 2})
+	f.RoundEnd(RoundSummary{
+		Round: i, Name: fmt.Sprintf("r%d", i), Phase: PhaseCandidates, Machines: 2,
+		Start: start, End: start.Add(elapsed), Elapsed: elapsed,
+		TotalOps: int64(i), CommWords: 1,
+	})
+}
+
+func TestFlightRingOverwritesOldest(t *testing.T) {
+	f := NewFlightRecorder()
+	total := flightRoundCap + 10
+	for i := 0; i < total; i++ {
+		endRound(f, i, time.Millisecond)
+	}
+	st := f.Stats()
+	if st.Rounds != flightRoundCap {
+		t.Fatalf("retained rounds = %d, want cap %d", st.Rounds, flightRoundCap)
+	}
+	if st.Events != uint64(2*total) { // RoundStart + RoundEnd each count
+		t.Errorf("events = %d, want %d", st.Events, 2*total)
+	}
+	tel := f.Telemetry()
+	if len(tel) != 1 {
+		t.Fatalf("telemetry batches = %d, want 1", len(tel))
+	}
+	rounds := tel[0].Rounds
+	if len(rounds) != flightRoundCap {
+		t.Fatalf("telemetry rounds = %d, want %d", len(rounds), flightRoundCap)
+	}
+	// Oldest-first, and the oldest retained is the (total-cap)-th round.
+	if rounds[0].Round != total-flightRoundCap {
+		t.Errorf("oldest retained round = %d, want %d", rounds[0].Round, total-flightRoundCap)
+	}
+	if last := rounds[len(rounds)-1].Round; last != total-1 {
+		t.Errorf("newest retained round = %d, want %d", last, total-1)
+	}
+}
+
+func TestFlightQuantiles(t *testing.T) {
+	f := NewFlightRecorder()
+	if q := f.Quantiles(); q.Window != 0 || q.P99Ms != 0 {
+		t.Fatalf("empty quantiles = %+v", q)
+	}
+	// 100 rounds at 1..100ms: nearest-rank p50=50ms, p95=95ms, p99=99ms.
+	for i := 1; i <= 100; i++ {
+		endRound(f, i, time.Duration(i)*time.Millisecond)
+	}
+	q := f.Quantiles()
+	if q.Window != 100 || q.P50Ms != 50 || q.P95Ms != 95 || q.P99Ms != 99 {
+		t.Errorf("quantiles = %+v, want window=100 p50=50 p95=95 p99=99", q)
+	}
+	// The window is rolling: flood it with 1ms rounds and the old tail
+	// must stop influencing the quantiles.
+	for i := 0; i < flightLatWindow; i++ {
+		endRound(f, 1000+i, time.Millisecond)
+	}
+	if q := f.Quantiles(); q.P99Ms != 1 {
+		t.Errorf("after flooding window, p99 = %v, want 1ms", q.P99Ms)
+	}
+}
+
+func TestFlightIngestGroupsByParty(t *testing.T) {
+	f := NewFlightRecorder()
+	endRound(f, 0, time.Millisecond)
+	f.Ingest(Telemetry{Party: 2, OffsetNs: 7,
+		Rounds: []TeleRound{{Round: 0, Name: "r0", Phase: "candidates", StartNs: 5, EndNs: 9}},
+		Spans:  []TeleSpan{{Round: 0, Machine: 1, Name: "r0", Phase: "candidates", StartNs: 5, EndNs: 8}},
+	})
+	tel := f.Telemetry()
+	if len(tel) != 2 {
+		t.Fatalf("telemetry batches = %d, want 2 (local + party 2)", len(tel))
+	}
+	if tel[0].Party != 0 || tel[1].Party != 2 {
+		t.Errorf("batch parties = %d, %d, want 0, 2", tel[0].Party, tel[1].Party)
+	}
+	if tel[1].OffsetNs != 7 {
+		t.Errorf("party 2 offset = %d, want 7 (preserved from ingest)", tel[1].OffsetNs)
+	}
+	if st := f.Stats(); st.Parties != 2 {
+		t.Errorf("stats parties = %d, want 2", st.Parties)
+	}
+	// Remote round latencies must not enter the local quantile window.
+	if q := f.Quantiles(); q.Window != 1 {
+		t.Errorf("quantile window = %d, want 1 (local rounds only)", q.Window)
+	}
+}
+
+// chromeDump decodes a dump the way tracecheck reads it.
+type chromeDump struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeDump(t *testing.T, ct *ClusterTrace) chromeDump {
+	t.Helper()
+	buf, err := ct.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d chromeDump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFlightDumpValidChromeTrace(t *testing.T) {
+	f := NewFlightRecorder()
+	for i := 0; i < 5; i++ {
+		endRound(f, i, time.Millisecond)
+	}
+	f.Transport(TransportEvent{Kind: TransportExchange, Party: 1, Seq: 3, Bytes: 100, At: time.Unix(2, 0)})
+	f.Ingest(Telemetry{Party: 1, Rounds: []TeleRound{{Round: 4, Name: "r4", Phase: "candidates", StartNs: 5, EndNs: 9}}})
+	// A round started but not ended: the dump must render it as an
+	// instant, never as a negative-duration span.
+	f.RoundStart(RoundInfo{Round: 5, Name: "open", Phase: PhaseGraph, Machines: 1})
+
+	d := decodeDump(t, f.Dump())
+	if len(d.TraceEvents) == 0 {
+		t.Fatal("empty dump")
+	}
+	named := map[int]bool{}
+	var sawQuantiles, sawOpen bool
+	for _, ev := range d.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			named[ev.Pid] = true
+		}
+	}
+	for _, ev := range d.TraceEvents {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %q: negative ts/dur (%v, %v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		if !named[ev.Pid] {
+			t.Errorf("event %q on unnamed process lane %d", ev.Name, ev.Pid)
+		}
+		if ev.Name == "round-latency" {
+			sawQuantiles = true
+			if ev.Args["window"] == nil || ev.Args["p99Ms"] == nil {
+				t.Errorf("round-latency args = %v, want window/p50Ms/p95Ms/p99Ms", ev.Args)
+			}
+		}
+		if ev.Name == "open" && ev.Ph == "i" {
+			sawOpen = true
+		}
+	}
+	if !sawQuantiles {
+		t.Error("dump missing the flight-recorder round-latency quantile event")
+	}
+	if !sawOpen {
+		t.Error("dump missing the open round as an instant event")
+	}
+}
+
+func TestFlightTriggerDebounce(t *testing.T) {
+	f := NewFlightRecorder()
+	var mu sync.Mutex
+	var reasons []string
+	f.SetAutoDump(func(reason string) {
+		mu.Lock()
+		reasons = append(reasons, reason)
+		mu.Unlock()
+	})
+	f.Trigger("first")
+	f.Trigger("storm-1")
+	f.Trigger("storm-2")
+	mu.Lock()
+	got := append([]string(nil), reasons...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != "first" {
+		t.Errorf("debounced triggers = %v, want [first]", got)
+	}
+	// A peer loss is an automatic trigger (debounced with the others).
+	f2 := NewFlightRecorder()
+	var n int
+	f2.SetAutoDump(func(string) { n++ })
+	f2.Transport(TransportEvent{Kind: TransportPeerLost, Party: 1, At: time.Unix(3, 0)})
+	if n != 1 {
+		t.Errorf("peer-lost triggered %d dumps, want 1", n)
+	}
+	// Disarmed recorder: Trigger is a no-op, not a panic.
+	f3 := NewFlightRecorder()
+	f3.Trigger("nobody listening")
+}
+
+func TestFlightReset(t *testing.T) {
+	f := NewFlightRecorder()
+	endRound(f, 0, time.Millisecond)
+	f.Ingest(Telemetry{Party: 1, Spans: []TeleSpan{{Round: 0, StartNs: 1, EndNs: 2}}})
+	f.Reset()
+	st := f.Stats()
+	if st.Events != 0 || st.Rounds != 0 || st.Spans != 0 || st.Parties != 1 {
+		t.Errorf("after reset: %+v", st)
+	}
+	if q := f.Quantiles(); q.Window != 0 {
+		t.Errorf("after reset, quantile window = %d", q.Window)
+	}
+}
+
+func TestFlightRemoteSpansSkipped(t *testing.T) {
+	f := NewFlightRecorder()
+	f.MachineEnd(MachineSpan{Round: 0, Machine: 1, Remote: true, Start: time.Unix(1, 0), End: time.Unix(2, 0)})
+	if st := f.Stats(); st.Spans != 0 {
+		t.Errorf("remote span retained: %+v", st)
+	}
+	f.MachineEnd(MachineSpan{Round: 0, Machine: 1, Start: time.Unix(1, 0), End: time.Unix(2, 0)})
+	if st := f.Stats(); st.Spans != 1 {
+		t.Errorf("local span not retained: %+v", st)
+	}
+}
+
+func TestWithFlight(t *testing.T) {
+	prev := FlightEnabled()
+	defer SetFlightEnabled(prev)
+
+	SetFlightEnabled(true)
+	if got := WithFlight(nil); got != Flight() {
+		t.Errorf("WithFlight(nil) = %T, want the global recorder", got)
+	}
+	base := Base{}
+	if _, ok := WithFlight(base).(multi); !ok {
+		t.Errorf("WithFlight(obs) = %T, want a Multi composition", WithFlight(base))
+	}
+
+	SetFlightEnabled(false)
+	if got := WithFlight(nil); got != nil {
+		t.Errorf("disabled WithFlight(nil) = %T, want nil", got)
+	}
+	if got := WithFlight(base); got != Observer(base) {
+		t.Errorf("disabled WithFlight(obs) = %T, want obs unchanged", got)
+	}
+	// The gated helpers are no-ops while disabled.
+	before := Flight().Stats().Events
+	FlightTransport(TransportEvent{Kind: TransportExchange, At: time.Unix(1, 0)})
+	FlightIngest(Telemetry{Party: 9})
+	if after := Flight().Stats().Events; after != before {
+		t.Errorf("disabled helpers recorded %d events", after-before)
+	}
+}
+
+func TestFlightEnvOff(t *testing.T) {
+	for v, want := range map[string]bool{
+		"off": true, "0": true, "false": true, "NO": true, " Disabled ": true,
+		"": false, "on": false, "1": false, "anything": false,
+	} {
+		if got := flightEnvOff(v); got != want {
+			t.Errorf("flightEnvOff(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestFlightConcurrency hammers every entry point at once; run under
+// -race this is the recorder's thread-safety proof.
+func TestFlightConcurrency(t *testing.T) {
+	f := NewFlightRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					endRound(f, i, time.Millisecond)
+				case 1:
+					f.MachineEnd(MachineSpan{Round: i, Machine: g, Start: time.Unix(1, 0), End: time.Unix(2, 0)})
+				case 2:
+					f.Fault(FaultEvent{Round: i, Machine: g, At: time.Unix(1, 0)})
+				case 3:
+					f.Ingest(Telemetry{Party: g + 1, Spans: []TeleSpan{{Round: i, StartNs: 1, EndNs: 2}}})
+				case 4:
+					f.Transport(TransportEvent{Kind: TransportExchange, Seq: i, At: time.Unix(1, 0)})
+				}
+				if i%50 == 0 {
+					_ = f.Stats()
+					_ = f.Quantiles()
+				}
+			}
+		}(g)
+	}
+	var wgDump sync.WaitGroup
+	wgDump.Add(1)
+	go func() {
+		defer wgDump.Done()
+		for i := 0; i < 10; i++ {
+			_ = f.Dump()
+		}
+	}()
+	wg.Wait()
+	wgDump.Wait()
+	if st := f.Stats(); st.Events == 0 {
+		t.Error("no events recorded")
+	}
+}

@@ -53,6 +53,36 @@ func Summarize(times []time.Duration) SkewStats {
 	return st
 }
 
+// DurationQuantiles holds nearest-rank p50/p95/p99 over a duration set —
+// the summary shape the flight recorder's rolling round-latency window
+// and the bench suite's advisory per-case quantiles share.
+type DurationQuantiles struct {
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
+}
+
+// Quantiles computes nearest-rank quantiles (ceil(q·n) as a 1-based rank,
+// like Summarize's P99) over times; zero value for an empty set.
+func Quantiles(times []time.Duration) DurationQuantiles {
+	if len(times) == 0 {
+		return DurationQuantiles{}
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q int) time.Duration {
+		r := (q*len(sorted) + 99) / 100
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return sorted[r-1]
+	}
+	return DurationQuantiles{P50: rank(50), P95: rank(95), P99: rank(99)}
+}
+
 // SkewAnalyzer is an Observer that accumulates per-round machine spans and
 // recomputes skew statistics independently of the simulator's own
 // RoundStats — useful when only an Observer can be attached, and as a

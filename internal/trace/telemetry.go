@@ -301,7 +301,10 @@ func BuildClusterTrace(parties []Telemetry) *ClusterTrace {
 			}
 			ev := chromeEvent{Name: r.Name, Cat: r.Phase, Ph: "X", Pid: pid, Tid: roundsTrack,
 				Ts: us(r.StartNs, off), Dur: float64(r.EndNs-r.StartNs) / 1e3, Args: args}
-			if r.StartNs == 0 {
+			if r.StartNs == 0 || r.EndNs < r.StartNs {
+				// No machine ran (pre-flight failure), or the round is still
+				// open (a flight-recorder dump taken mid-round): an instant
+				// keeps it visible without a negative duration.
 				ev.Ph, ev.Dur = "i", 0
 			}
 			events = append(events, ev)

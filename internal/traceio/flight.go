@@ -1,0 +1,73 @@
+package traceio
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"mpcdist/internal/trace"
+)
+
+// EnvFlightOut names the environment variable that overrides where flight
+// dumps are written (and, when set, asks ArmFlight's returned finalizer
+// to always write a dump at process exit — the hook CI uses to collect a
+// dump artifact deterministically, without racing a signal).
+const EnvFlightOut = "MPCDIST_FLIGHT_OUT"
+
+// ArmFlight turns the process-global flight recorder (trace.Flight) into
+// a usable black box for a command named cmd:
+//
+//   - SIGQUIT dumps the recorder to the dump path and the process keeps
+//     running (the classic JVM-style thread-dump UX; note Go's default
+//     SIGQUIT stack dump is replaced while armed).
+//   - The recorder's automatic triggers — round-retry exhaustion, peer
+//     loss, degraded fallback — write the same dump, debounced.
+//   - The returned finalizer, for a defer in main, writes a final dump at
+//     exit when MPCDIST_FLIGHT_OUT is set (explicit opt-in; an ordinary
+//     successful run should not leave files behind).
+//
+// The dump path is $MPCDIST_FLIGHT_OUT when set, else "<cmd>-flight.json"
+// in the current directory. Dump-write failures are reported on stderr
+// and never crash the process: the recorder is an observer, not a
+// participant. ArmFlight is a no-op (returning a no-op finalizer) when
+// the recorder is disabled.
+func ArmFlight(cmd string) func() {
+	if !trace.FlightEnabled() {
+		return func() {}
+	}
+	explicit := os.Getenv(EnvFlightOut)
+	path := explicit
+	if path == "" {
+		path = cmd + "-flight.json"
+	}
+
+	// One write at a time; Trigger debounces, but SIGQUIT and the exit
+	// path can still race a trigger.
+	var mu sync.Mutex
+	dump := func(reason string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := WriteFile(path, trace.Flight().Dump()); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: flight dump (%s): %v\n", cmd, reason, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: flight dump (%s) written to %s\n", cmd, reason, path)
+	}
+	trace.Flight().SetAutoDump(dump)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGQUIT)
+	go func() {
+		for range sig {
+			dump("SIGQUIT")
+		}
+	}()
+
+	return func() {
+		if explicit != "" {
+			dump("exit")
+		}
+	}
+}

@@ -156,11 +156,16 @@ func (c *Coordinator) handshake(p *peer, workers, party int, deadline time.Time)
 		return errors.New("transport: " + msg)
 	}
 	return p.write(fWelcome, encodeWelcome(welcome{
-		Version:   ProtocolVersion,
-		Parties:   workers + 1,
-		Self:      party,
-		ClockNs:   time.Now().UnixNano(),
-		Telemetry: c.opts.Telemetry,
+		Version: ProtocolVersion,
+		Parties: workers + 1,
+		Self:    party,
+		ClockNs: time.Now().UnixNano(),
+		// Workers ship telemetry when the session asked for it OR when the
+		// coordinator's flight recorder is on (the default): the recorder
+		// needs every party's recent events to make a useful dump, and
+		// shipping is out-of-band by contract — only advisory wire volume
+		// changes, never a deterministic counter.
+		Telemetry: c.opts.Telemetry || trace.FlightEnabled(),
 		Table:     c.codec.Table(),
 	}))
 }
@@ -175,12 +180,18 @@ func (c *Coordinator) pump(w int, p *peer) {
 }
 
 func (c *Coordinator) event(e trace.TransportEvent) {
-	if c.opts.OnEvent == nil {
+	if c.opts.OnEvent == nil && !trace.FlightEnabled() {
 		return
 	}
 	e.At = time.Now()
 	e.Bytes = c.Stats().BytesOut
-	c.opts.OnEvent(e)
+	// The process-global flight recorder sees every transport event (and
+	// self-triggers a dump on peer loss); the session's own observer chain
+	// is wired separately via OnEvent, so neither records twice.
+	trace.FlightTransport(e)
+	if c.opts.OnEvent != nil {
+		c.opts.OnEvent(e)
+	}
 }
 
 // Parties implements Transport.
@@ -448,6 +459,12 @@ func (c *Coordinator) Alive() int {
 // addTelemetry decodes and buffers one fTelemetry body. Telemetry is
 // out-of-band, so a malformed frame is dropped rather than failing the
 // round it arrived during.
+//
+// Every batch feeds the process-global flight recorder as it arrives (so
+// a dump taken mid-job already holds the workers' recent events), but it
+// is buffered for DrainTelemetry only when the session asked for full
+// telemetry — on a recorder-only session nobody drains, and buffering
+// would grow without bound on a long-lived server.
 func (c *Coordinator) addTelemetry(body []byte) {
 	v, err := c.codec.Decode(body)
 	if err != nil {
@@ -455,6 +472,10 @@ func (c *Coordinator) addTelemetry(body []byte) {
 	}
 	t, ok := v.(trace.Telemetry)
 	if !ok {
+		return
+	}
+	trace.FlightIngest(t)
+	if !c.opts.Telemetry {
 		return
 	}
 	c.mu.Lock()
