@@ -43,7 +43,9 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/traceio"
+	tnet "mpcdist/internal/transport"
 )
 
 func main() {
@@ -61,6 +63,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file; samples carry {algo, phase, round} labels for the Table 1 phase taxonomy, and one fixed large-distance edit case runs after the suite so every phase (partition, candidates, graph, chain) appears")
 	profilerate := flag.Int("profilerate", 0, "CPU profile sampling rate in Hz (0 = runtime default of 100); driver-side phases like partition run for microseconds and need a high rate (e.g. 10000) to accrue samples")
 	faultPlan := fault.BindFlags(flag.CommandLine)
+	transportOpts := tnet.BindFlags(flag.CommandLine)
+	chaosPlan := netchaos.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// SIGQUIT mid-suite (or MPCDIST_FLIGHT_OUT at exit) dumps the flight
@@ -68,11 +72,23 @@ func main() {
 	flightDump = traceio.ArmFlight("mpcbench")
 	defer flightDump()
 
+	topts, terr := transportOpts()
+	if terr != nil {
+		die(terr)
+	}
 	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries,
-		Transport: *transport, Workers: *workers, Telemetry: *telemetry}
+		Transport: *transport, Workers: *workers, Telemetry: *telemetry,
+		TransportOpts: topts, NetChaos: chaosPlan()}
 	if *telemetry && *transport != "tcp" {
 		fmt.Fprintln(os.Stderr, "mpcbench: -telemetry requires -transport tcp")
 		os.Exit(2)
+	}
+	if cfg.NetChaos != nil && *transport != "tcp" {
+		fmt.Fprintln(os.Stderr, "mpcbench: -netchaos-* flags require -transport tcp")
+		os.Exit(2)
+	}
+	if cfg.NetChaos != nil {
+		fmt.Fprintf(os.Stderr, "mpcbench: link chaos active: %s (counters must still match the clean baseline)\n", cfg.NetChaos)
 	}
 	if *transport == "tcp" {
 		mode := ""

@@ -9,6 +9,10 @@
 //	mpcdist -algo ulam-mpc -a "3 1 4 5 2" -b "1 4 3 5 2" -x 0.3
 //	mpcdist -algo mpc -afile a.txt -bfile b.txt -transport tcp -workers 3
 //	                      # same run across 3 real worker processes over TCP
+//	mpcdist -algo ulam-mpc -a "3 1 4 5 2" -b "1 4 3 5 2" -soak 25 \
+//	        -netchaos-corrupt 0.01 -netchaos-drop 0.005 -rejoin-grace 2s
+//	                      # 25 fresh sessions under rotating link-fault
+//	                      # seeds; every one must be bit-identical
 //
 // Algorithms: exact, myers, bounded, approx, script, mpc (Theorem 9),
 // hss ([20] baseline), ulam (exact), ulam-mpc (Theorem 4), lulam.
@@ -28,9 +32,11 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/editdist"
 	"mpcdist/internal/fault"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/stats"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/traceio"
+	"mpcdist/internal/transport"
 	"mpcdist/internal/ulam"
 )
 
@@ -52,7 +58,10 @@ func main() {
 	transportName := flag.String("transport", "local", "shuffle transport: local (in-process) or tcp (real worker processes)")
 	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
 	statusAddr := flag.String("status", "", "serve a live JSON session snapshot at this address (host:port; -transport tcp only)")
+	soak := flag.Int("soak", 0, "replay the job across this many fresh tcp sessions under rotating -netchaos-* seeds, asserting bit-identical results every time (requires an MPC algorithm)")
 	faultPlan := fault.BindFlags(flag.CommandLine)
+	transportOpts := transport.BindFlags(flag.CommandLine)
+	chaosPlan := netchaos.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Arm the always-on flight recorder: SIGQUIT and the automatic
@@ -62,9 +71,25 @@ func main() {
 	flightDump = traceio.ArmFlight("mpcdist")
 	defer flightDump()
 
+	topts, terr := transportOpts()
+	if terr != nil {
+		die("%v", terr)
+	}
+	chaos := chaosPlan()
+
 	distAlgos := map[string]string{"mpc": dist.AlgoEditMPC, "hss": dist.AlgoEditHSS, "ulam-mpc": dist.AlgoUlamMPC}
+	if *soak > 0 {
+		if _, ok := distAlgos[*algo]; !ok {
+			die("-soak requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
+		}
+		// Soak spawns its own tcp sessions regardless of -transport.
+		*transportName = "tcp"
+	}
 	switch *transportName {
 	case "local":
+		if chaos != nil {
+			die("-netchaos-* flags require -transport tcp (there is no wire to perturb in-process)")
+		}
 	case "tcp":
 		if _, ok := distAlgos[*algo]; !ok {
 			die("-transport tcp requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
@@ -78,6 +103,10 @@ func main() {
 	if *statusAddr != "" && *transportName != "tcp" {
 		die("-status requires -transport tcp")
 	}
+	if chaos != nil {
+		fmt.Fprintf(os.Stderr, "mpcdist: link chaos active: %s\n", chaos)
+	}
+	soakN, sessTransport, sessChaos = *soak, topts, chaos
 
 	a := input(*aStr, *aFile)
 	b := input(*bStr, *bFile)
@@ -202,10 +231,29 @@ func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName
 	}
 	job := dist.FromParams(algo, p)
 	job.S, job.T, job.P, job.Q = s, t, pa, qa
+	if soakN > 0 {
+		// Soak mode: N fresh sessions under rotating chaos seeds, each
+		// checked bit-for-bit against the fault-free local digest. The
+		// normal report afterwards comes from one more local run.
+		err := dist.Soak(job, dist.SoakOptions{
+			Workers:    workers,
+			Iterations: soakN,
+			Plan:       sessChaos,
+			Transport:  sessTransport,
+			Log:        os.Stderr,
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+		fmt.Fprintf(os.Stderr, "mpcdist: soak ok: %d iterations, every session bit-identical to the local run\n", soakN)
+		return local()
+	}
 	sess, err := dist.NewSession(dist.SessionOptions{
 		Workers:   workers,
 		Observer:  p.Observer,
 		Telemetry: traceOut != "",
+		Transport: sessTransport,
+		NetChaos:  sessChaos,
 	})
 	if err != nil {
 		return core.Result{}, err
@@ -221,8 +269,8 @@ func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName
 	}
 	res, err := sess.Run(job)
 	st := sess.Stats()
-	fmt.Fprintf(os.Stderr, "mpcdist: transport=tcp workers=%d/%d wire: out=%dB in=%dB frames=%d exchanges=%d peersLost=%d reassigns=%d\n",
-		sess.Alive(), sess.Workers(), st.BytesOut, st.BytesIn, st.Frames, st.Exchanges, st.PeersLost, st.Reassigns)
+	fmt.Fprintf(os.Stderr, "mpcdist: transport=tcp workers=%d/%d wire: out=%dB in=%dB frames=%d exchanges=%d peersLost=%d reassigns=%d reconnects=%d corruptFrames=%d\n",
+		sess.Alive(), sess.Workers(), st.BytesOut, st.BytesIn, st.Frames, st.Exchanges, st.PeersLost, st.Reassigns, st.Reconnects, st.CorruptFrames)
 	if traceOut != "" {
 		// Write the trace even after a failed run — the lanes up to the
 		// failure are exactly what one wants to look at.
@@ -250,6 +298,14 @@ var (
 // flightDump is ArmFlight's finalizer; die runs it so os.Exit cannot
 // skip the exit dump a caller asked for via MPCDIST_FLIGHT_OUT.
 var flightDump = func() {}
+
+// Session knobs bound from flags in main, consumed by runMPC: the soak
+// iteration count, the transport liveness options, and the link-chaos plan.
+var (
+	soakN         int
+	sessTransport transport.Options
+	sessChaos     *netchaos.Plan
+)
 
 func die(format string, args ...any) {
 	flushTrace()

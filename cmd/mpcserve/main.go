@@ -101,6 +101,7 @@ func main() {
 	workers := flag.Int("workers", 3, "worker processes for -transport tcp")
 	statusAddr := flag.String("status", "", "serve live transport.Status JSON at this address (host:port; -transport tcp only)")
 	faultPlan := fault.BindFlags(flag.CommandLine)
+	transportOpts := transport.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Arm the always-on flight recorder: SIGQUIT dumps it, degraded
@@ -121,11 +122,16 @@ func main() {
 		log.Fatalf("mpcserve: -log must be text, json, or off (got %q)", *logFormat)
 	}
 
+	topts, terr := transportOpts()
+	if terr != nil {
+		log.Fatalf("mpcserve: %v", terr)
+	}
+
 	var distRunner server.DistRunner
 	switch *transportName {
 	case "local":
 	case "tcp":
-		sess, err := dist.NewSession(dist.SessionOptions{Workers: *workers})
+		sess, err := dist.NewSession(dist.SessionOptions{Workers: *workers, Transport: topts})
 		if err != nil {
 			log.Fatalf("mpcserve: starting worker cluster: %v", err)
 		}

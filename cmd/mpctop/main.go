@@ -124,6 +124,23 @@ func poll(client *http.Client, statuses []string, metricsURL string) frame {
 	return fr
 }
 
+// payloadError reports a response body that was not exactly one JSON
+// document — truncated, garbled, or carrying trailing bytes. A bare
+// json.Decoder.Decode would accept a valid prefix and silently discard
+// the rest, so a half-written or corrupted status response could render
+// as a healthy frame; mpctop instead surfaces it as an endpoint error.
+type payloadError struct {
+	URL string
+	Err error
+}
+
+func (e *payloadError) Error() string { return fmt.Sprintf("%s: bad payload: %v", e.URL, e.Err) }
+func (e *payloadError) Unwrap() error { return e.Err }
+
+// maxPayload bounds how much of a status response mpctop will buffer;
+// the real endpoints emit a few KB, so 10MB means "something is wrong".
+const maxPayload = 10 << 20
+
 func getJSON(client *http.Client, url string, v any) error {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -133,7 +150,15 @@ func getJSON(client *http.Client, url string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s: %s", url, resp.Status)
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload))
+	if err != nil {
+		return &payloadError{URL: url, Err: err}
+	}
+	// Unmarshal, unlike Decode, rejects trailing bytes after the document.
+	if err := json.Unmarshal(body, v); err != nil {
+		return &payloadError{URL: url, Err: err}
+	}
+	return nil
 }
 
 func render(w io.Writer, fr frame) {
@@ -153,18 +178,24 @@ func renderStatus(w io.Writer, s statusSample) {
 		return
 	}
 	st := s.Status
-	fmt.Fprintf(w, "  %s party %d/%d — round %d %q phase=%s seq=%d alive=%d/%d\n",
-		st.Role, st.Self, st.Parties, st.Round, st.Name, st.Phase, st.Seq, st.Alive, st.Parties)
-	fmt.Fprintf(w, "  wire: out=%s in=%s frames=%d exchanges=%d peersLost=%d reassigns=%d\n",
+	grace := ""
+	if st.RejoinGraceMs > 0 {
+		grace = fmt.Sprintf(" grace=%s", msStr(st.RejoinGraceMs))
+	}
+	fmt.Fprintf(w, "  %s party %d/%d — round %d %q phase=%s seq=%d alive=%d/%d%s\n",
+		st.Role, st.Self, st.Parties, st.Round, st.Name, st.Phase, st.Seq, st.Alive, st.Parties, grace)
+	fmt.Fprintf(w, "  wire: out=%s in=%s frames=%d exchanges=%d peersLost=%d reassigns=%d reconnects=%d corrupt=%d\n",
 		bytesStr(st.Wire.BytesOut), bytesStr(st.Wire.BytesIn),
-		st.Wire.Frames, st.Wire.Exchanges, st.Wire.PeersLost, st.Wire.Reassigns)
+		st.Wire.Frames, st.Wire.Exchanges, st.Wire.PeersLost, st.Wire.Reassigns,
+		st.Wire.Reconnects, st.Wire.CorruptFrames)
 	if f := s.Flight; f != nil && f.Enabled {
 		fmt.Fprintf(w, "  flight: rounds p50=%.2fms p95=%.2fms p99=%.2fms (window %d) — retained %d rounds, %d spans, %d faults, %d transport; %d events, %d lanes\n",
 			f.Latency.P50Ms, f.Latency.P95Ms, f.Latency.P99Ms, f.Latency.Window,
 			f.Rounds, f.Spans, f.Faults, f.Transport, f.Events, f.Parties)
 	}
 	if len(st.Peers) > 0 {
-		fmt.Fprintf(w, "  %5s %5s %10s %10s %8s %9s %10s\n", "PEER", "ALIVE", "IN", "OUT", "FRAMES", "RTTp99", "LASTHEARD")
+		fmt.Fprintf(w, "  %5s %5s %10s %10s %8s %9s %10s %6s %7s\n",
+			"PEER", "ALIVE", "IN", "OUT", "FRAMES", "RTTp99", "LASTHEARD", "RECONN", "CORRUPT")
 		for _, p := range st.Peers {
 			alive := "yes"
 			if !p.Alive {
@@ -174,8 +205,9 @@ func renderStatus(w io.Writer, s statusSample) {
 			if p.LastHeardMs >= 0 {
 				last = fmt.Sprintf("%.0fms", p.LastHeardMs)
 			}
-			fmt.Fprintf(w, "  %5d %5s %10s %10s %8d %8.2fms %10s\n",
-				p.Party, alive, bytesStr(p.BytesIn), bytesStr(p.BytesOut), p.Frames, p.RTTP99Ms, last)
+			fmt.Fprintf(w, "  %5d %5s %10s %10s %8d %8.2fms %10s %6d %7d\n",
+				p.Party, alive, bytesStr(p.BytesIn), bytesStr(p.BytesOut), p.Frames, p.RTTP99Ms, last,
+				p.Reconnects, p.CorruptFrames)
 		}
 	}
 }
@@ -191,9 +223,9 @@ func renderMetrics(w io.Writer, m metricsSample) {
 		(time.Duration(sn.UptimeSeconds) * time.Second).String(),
 		sn.Requests, sn.Errors, sn.Timeouts, sn.Degraded, sn.Shed, sn.Batches)
 	if tr := sn.Transport; tr != nil {
-		fmt.Fprintf(w, "  cluster: alive=%d/%d wire out=%s in=%s peersLost=%d reassigns=%d\n",
+		fmt.Fprintf(w, "  cluster: alive=%d/%d wire out=%s in=%s peersLost=%d reassigns=%d reconnects=%d corrupt=%d\n",
 			tr.Alive, tr.Workers+1, bytesStr(tr.Wire.BytesOut), bytesStr(tr.Wire.BytesIn),
-			tr.Wire.PeersLost, tr.Wire.Reassigns)
+			tr.Wire.PeersLost, tr.Wire.Reassigns, tr.Wire.Reconnects, tr.Wire.CorruptFrames)
 	}
 	if len(sn.Algorithms) > 0 {
 		names := make([]string, 0, len(sn.Algorithms))

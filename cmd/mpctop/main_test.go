@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -21,9 +22,12 @@ func sampleFrame() frame {
 			Status: transport.Status{
 				Role: "coordinator", Parties: 4, Self: 0,
 				Seq: 47, Round: 12, Name: "edit/graph", Phase: "graph", Alive: 4,
-				Wire: transport.Stats{BytesOut: 3 << 20, BytesIn: 5 << 20, Frames: 321, Exchanges: 8},
+				RejoinGraceMs: 2000,
+				Wire: transport.Stats{BytesOut: 3 << 20, BytesIn: 5 << 20, Frames: 321, Exchanges: 8,
+					Reconnects: 2, CorruptFrames: 3},
 				Peers: []transport.PeerStatus{
-					{Party: 1, Alive: true, BytesIn: 1 << 20, BytesOut: 2 << 20, Frames: 100, RTTP99Ms: 0.42, LastHeardMs: 12},
+					{Party: 1, Alive: true, BytesIn: 1 << 20, BytesOut: 2 << 20, Frames: 100, RTTP99Ms: 0.42, LastHeardMs: 12,
+						Reconnects: 2, CorruptFrames: 3},
 					{Party: 2, Alive: false, LastHeardMs: -1},
 				},
 			},
@@ -47,7 +51,7 @@ func sampleFrame() frame {
 					2: {MachineRounds: 118, Ops: 4_400_000, CommWords: 1_100_000, QueueWaitMs: 9.1, WireBytes: 3 << 20},
 				},
 				Transport: &server.TransportJSON{Workers: 3, Alive: 4,
-					Wire: transport.Stats{BytesOut: 1 << 20, BytesIn: 2 << 20, Reassigns: 1}},
+					Wire: transport.Stats{BytesOut: 1 << 20, BytesIn: 2 << 20, Reassigns: 1, Reconnects: 4}},
 			},
 		},
 	}
@@ -62,8 +66,9 @@ func TestRenderFrame(t *testing.T) {
 	for _, want := range []string{
 		"SESSION http://c:8081",
 		"coordinator party 0/4",
-		`round 12 "edit/graph" phase=graph seq=47 alive=4/4`,
-		"peersLost=0 reassigns=0",
+		`round 12 "edit/graph" phase=graph seq=47 alive=4/4 grace=2.0s`,
+		"peersLost=0 reassigns=0 reconnects=2 corrupt=3",
+		"RECONN", "CORRUPT", // rejoin/integrity peer columns
 		"p50=1.25ms p95=4.50ms p99=9.75ms (window 200)",
 		"3 faults",
 		"DEAD",   // party 2 is down
@@ -71,7 +76,7 @@ func TestRenderFrame(t *testing.T) {
 		"SERVER http://s:8080",
 		"1234 requests (2 errors, 0 timeouts, 1 degraded, 5 shed",
 		"alive=4/4",
-		"reassigns=1",
+		"reassigns=1 reconnects=4",
 		"ulam-mpc",
 		"4500000", // party 1 attributed ops
 		"9.10ms",  // party 2 queue wait through msStr's sub-10ms branch
@@ -124,6 +129,42 @@ func TestPoll(t *testing.T) {
 	}
 	if s.Flight == nil || !s.Flight.Enabled || s.Flight.Latency.Window != 3 {
 		t.Errorf("flight = %+v", s.Flight)
+	}
+}
+
+// TestPollGarbledPayload is the strict-decode regression: a status
+// endpoint that returns a valid JSON document followed by trailing
+// garbage (a half-flushed write, a proxy mangling the body) must
+// surface as a per-endpoint payloadError, not render as a healthy
+// frame built from the parseable prefix.
+func TestPollGarbledPayload(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"role":"worker","parties":4}{"trailing":"garbage"`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	fr := poll(&http.Client{Timeout: time.Second}, []string{ts.URL}, "")
+	if len(fr.Statuses) != 1 {
+		t.Fatalf("want 1 status sample, got %d", len(fr.Statuses))
+	}
+	s := fr.Statuses[0]
+	if s.Err == nil {
+		t.Fatalf("garbled payload decoded cleanly: %+v", s.Status)
+	}
+	var pe *payloadError
+	if !errors.As(s.Err, &pe) {
+		t.Fatalf("err = %v (%T), want *payloadError", s.Err, s.Err)
+	}
+	if !strings.Contains(pe.Error(), "bad payload") {
+		t.Errorf("error text %q missing 'bad payload'", pe.Error())
+	}
+	// The broken session must still render as unreachable, not crash.
+	var sb strings.Builder
+	render(&sb, fr)
+	if !strings.Contains(sb.String(), "unreachable:") {
+		t.Errorf("garbled endpoint not rendered as unreachable:\n%s", sb.String())
 	}
 }
 

@@ -20,24 +20,40 @@ import (
 	"os"
 
 	"mpcdist/internal/dist"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/traceio"
+	"mpcdist/internal/transport"
 )
 
 func main() {
 	dist.MaybeWorkerMain()
 	addr := flag.String("addr", "", "coordinator address (host:port) to join")
 	statusAddr := flag.String("status", "", "serve a live JSON worker snapshot at this address (host:port)")
+	transportOpts := transport.BindFlags(flag.CommandLine)
+	chaosPlan := netchaos.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "mpcworker: -addr is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	opts, err := transportOpts()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcworker:", err)
+		os.Exit(2)
+	}
+	// A hand-run worker can degrade its own link deterministically — the
+	// coordinator side stays clean, but read-path corruption still
+	// perturbs both directions of this worker's traffic.
+	if chaos := chaosPlan(); chaos != nil {
+		fmt.Fprintf(os.Stderr, "mpcworker: link chaos active: %s\n", chaos)
+		opts.WrapConn = netchaos.New(chaos).Wrap
+	}
 	// SIGQUIT (or MPCDIST_FLIGHT_OUT at exit) dumps this worker's flight
 	// recorder — its own lane of recent rounds, attributed to the party
 	// the coordinator's handshake assigns.
 	flightDump := traceio.ArmFlight("mpcworker")
-	code := dist.WorkerMainStatus(*addr, *statusAddr)
+	code := dist.WorkerMainOptions(*addr, *statusAddr, opts)
 	flightDump()
 	os.Exit(code)
 }

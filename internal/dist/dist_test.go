@@ -6,8 +6,10 @@ import (
 	"os"
 	"reflect"
 	"testing"
+	"time"
 
 	"mpcdist/internal/core"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
 )
@@ -234,6 +236,88 @@ func TestAllWorkersCrashRecovery(t *testing.T) {
 	if got := sess.Alive(); got != 0 {
 		t.Errorf("Alive() = %d, want 0", got)
 	}
+}
+
+// TestNetChaosRejoinParity is the self-healing invariant from the other
+// direction: instead of killing workers, it degrades the wire. Every
+// coordinator-side link runs under a seeded netchaos schedule (bit
+// corruption both ways, truncated writes, mid-stream resets) AND worker
+// party 2 deterministically severs its own connection at exchange 2 — and
+// with a rejoin grace in force, all three pipelines must still be
+// bit-identical to local runs with NO peer ever evicted and NO machine
+// ever reassigned: every failure heals through reconnect + resume, not
+// through the (result-preserving but work-wasting) replay paths.
+func TestNetChaosRejoinParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	sess, err := NewSession(SessionOptions{
+		Workers: 2,
+		Stderr:  io.Discard,
+		NetChaos: &netchaos.Plan{
+			Seed:    11,
+			Corrupt: 0.003,
+			Drop:    0.002,
+			Reset:   0.001,
+		},
+		Transport: transport.Options{
+			RejoinGrace: 5 * time.Second,
+			// The test asserts PeersLost == 0, so the corrupt-burst
+			// eviction threshold must be out of reach for any schedule.
+			CorruptTolerance: 1 << 20,
+		},
+		WorkerEnv: []string{
+			EnvWorkerDropConnSeq + "=2",
+			EnvWorkerDropConnParty + "=2",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for _, job := range parityJobs() {
+		local, lerr := runLocal(job)
+		distr, derr := sess.Run(job)
+		checkParity(t, job.Algo+"/netchaos", local, lerr, distr, derr)
+	}
+	st := sess.Stats()
+	if st.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (the drop-conn knob alone guarantees one)", st.Reconnects)
+	}
+	if st.PeersLost != 0 {
+		t.Errorf("PeersLost = %d, want 0: every link failure should heal within the grace", st.PeersLost)
+	}
+	if st.Reassigns != 0 {
+		t.Errorf("Reassigns = %d, want 0: rejoin must resume the slot, not fall back to replay", st.Reassigns)
+	}
+	if got := sess.Alive(); got != 2 {
+		t.Errorf("Alive() = %d, want 2", got)
+	}
+}
+
+// TestSoakSmoke runs a short version of the `mpcdist -soak` loop: a few
+// fresh sessions under rotating chaos seeds, each checked bit-for-bit
+// against the fault-free local digest.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	err := Soak(parityJobs()[0], SoakOptions{
+		Workers:    2,
+		Iterations: 2,
+		Log:        testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testWriter adapts t.Logf so soak progress lands in the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
 }
 
 // TestJobRoundTrip pushes a fully-populated job through the session codec

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mpcdist/internal/core"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
 )
@@ -32,8 +33,18 @@ type SessionOptions struct {
 	// WorkerEnv appends extra environment variables to spawned workers
 	// (the tests use it to arm the deterministic die-at-exchange knob).
 	WorkerEnv []string
-	// Transport tunes the TCP liveness machinery (zero = defaults).
+	// Transport tunes the TCP liveness machinery (zero = defaults). The
+	// heartbeat interval and peer deadline are forwarded to spawned
+	// workers via the environment so both sides run the same liveness
+	// config; the rejoin grace reaches workers through the welcome frame.
 	Transport transport.Options
+	// NetChaos, when non-nil and active, wraps every coordinator-side
+	// connection (initial and rejoin) with the deterministic link-fault
+	// injector. Read-path corruption means worker->coordinator frames are
+	// perturbed too, so one-sided wrapping exercises both directions.
+	// Strictly a wire-level perturbation: deterministic counters and
+	// results are bit-identical under any plan.
+	NetChaos *netchaos.Plan
 	// Telemetry asks every party to buffer its trace events and ship them
 	// to the coordinator at round barriers; the merged stream is available
 	// from ClusterTrace after runs. Out-of-band: results and deterministic
@@ -85,6 +96,12 @@ func NewSession(opts SessionOptions) (*Session, error) {
 	for i := 0; i < opts.Workers; i++ {
 		cmd := exec.Command(exe)
 		cmd.Env = append(os.Environ(), EnvWorkerAddr+"="+ln.Addr().String())
+		if opts.Transport.HeartbeatInterval > 0 {
+			cmd.Env = append(cmd.Env, EnvWorkerHeartbeat+"="+opts.Transport.HeartbeatInterval.String())
+		}
+		if opts.Transport.PeerTimeout > 0 {
+			cmd.Env = append(cmd.Env, EnvWorkerDeadline+"="+opts.Transport.PeerTimeout.String())
+		}
 		cmd.Env = append(cmd.Env, opts.WorkerEnv...)
 		cmd.Stderr = stderr
 		if err := cmd.Start(); err != nil {
@@ -101,6 +118,9 @@ func NewSession(opts SessionOptions) (*Session, error) {
 	}
 	topts := opts.Transport
 	topts.Telemetry = opts.Telemetry
+	if opts.NetChaos.Active() {
+		topts.WrapConn = netchaos.New(opts.NetChaos).Wrap
+	}
 	// trace.Multi forwards transport events to every member implementing
 	// TransportObserver, so this assertion holds for the combined observer
 	// whenever any member wants them.

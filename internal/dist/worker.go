@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"mpcdist/internal/core"
 	"mpcdist/internal/trace"
@@ -23,6 +24,20 @@ const (
 	EnvWorkerDieSeq = "MPCDIST_WORKER_DIE_SEQ"
 	// EnvWorkerDieParty (tests only) arms transport.Options.TestDieAtParty.
 	EnvWorkerDieParty = "MPCDIST_WORKER_DIE_PARTY"
+	// EnvWorkerDropConnSeq (tests only) arms
+	// transport.Options.TestDropConnAtSeq: the worker severs its own
+	// connection at the given exchange and must rejoin within the grace.
+	EnvWorkerDropConnSeq = "MPCDIST_WORKER_DROPCONN_SEQ"
+	// EnvWorkerDropConnParty (tests only) arms
+	// transport.Options.TestDropConnAtParty.
+	EnvWorkerDropConnParty = "MPCDIST_WORKER_DROPCONN_PARTY"
+	// EnvWorkerHeartbeat carries the session's heartbeat interval (a
+	// time.Duration string) so spawned workers ping on the same schedule
+	// the coordinator expects.
+	EnvWorkerHeartbeat = "MPCDIST_WORKER_HEARTBEAT"
+	// EnvWorkerDeadline carries the session's peer deadline (a
+	// time.Duration string).
+	EnvWorkerDeadline = "MPCDIST_WORKER_DEADLINE"
 )
 
 // MaybeWorkerMain hijacks the process if it was spawned as a session
@@ -46,22 +61,47 @@ func WorkerMain(addr string) int { return WorkerMainStatus(addr, "") }
 // when statusAddr is non-empty the worker serves its transport.Status as
 // JSON at http://statusAddr/status for the session's lifetime.
 func WorkerMainStatus(addr, statusAddr string) int {
-	var opts transport.Options
-	if v := os.Getenv(EnvWorkerDieSeq); v != "" {
+	return WorkerMainOptions(addr, statusAddr, transport.Options{})
+}
+
+// WorkerMainOptions is WorkerMainStatus with explicit transport options
+// (mpcworker binds its -heartbeat/-peer-deadline/-netchaos-* flags into
+// them). The MPCDIST_WORKER_* environment knobs are layered on top.
+func WorkerMainOptions(addr, statusAddr string, opts transport.Options) int {
+	intEnv := func(key string, dst *int) bool {
+		v := os.Getenv(key)
+		if v == "" {
+			return true
+		}
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", EnvWorkerDieSeq, v)
-			return 1
+			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", key, v)
+			return false
 		}
-		opts.TestDieAtSeq = n
+		*dst = n
+		return true
 	}
-	if v := os.Getenv(EnvWorkerDieParty); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", EnvWorkerDieParty, v)
-			return 1
+	durEnv := func(key string, dst *time.Duration) bool {
+		v := os.Getenv(key)
+		if v == "" {
+			return true
 		}
-		opts.TestDieAtParty = n
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcdist worker: bad %s=%q\n", key, v)
+			return false
+		}
+		*dst = d
+		return true
+	}
+	ok := intEnv(EnvWorkerDieSeq, &opts.TestDieAtSeq) &&
+		intEnv(EnvWorkerDieParty, &opts.TestDieAtParty) &&
+		intEnv(EnvWorkerDropConnSeq, &opts.TestDropConnAtSeq) &&
+		intEnv(EnvWorkerDropConnParty, &opts.TestDropConnAtParty) &&
+		durEnv(EnvWorkerHeartbeat, &opts.HeartbeatInterval) &&
+		durEnv(EnvWorkerDeadline, &opts.PeerTimeout)
+	if !ok {
+		return 1
 	}
 	w, err := transport.DialWorker(addr, opts)
 	if err != nil {

@@ -69,17 +69,36 @@ func mix64(v uint64) uint64 { return stats.Mix64(v) }
 // decide evaluates one Bernoulli decision at the given coordinates. The
 // 53-bit mantissa conversion matches rand.Float64's resolution.
 func (p *Plan) decide(kind uint64, rate float64, a, b, c int) bool {
-	if p == nil || rate <= 0 {
+	if p == nil {
+		return false
+	}
+	return Decide(p.Seed, kind, rate, a, b, c)
+}
+
+// Decide is the shared Bernoulli primitive behind every deterministic
+// fault schedule in the repository: a pure function of (seed, kind salt,
+// coordinates). internal/netchaos keys its link-fault schedule on the same
+// primitive so a wire-chaos run replays from its seed exactly like a
+// logical-fault run.
+func Decide(seed int64, kind uint64, rate float64, a, b, c int) bool {
+	if rate <= 0 {
 		return false
 	}
 	if rate >= 1 {
 		return true
 	}
-	h := mix64(uint64(p.Seed) ^ kind)
+	return Uniform(seed, kind, a, b, c) < rate
+}
+
+// Uniform returns the deterministic uniform [0,1) draw at the given
+// coordinates — the quantity Decide thresholds. Exposed for schedules that
+// need a magnitude (e.g. netchaos jitter), not just a coin flip.
+func Uniform(seed int64, kind uint64, a, b, c int) float64 {
+	h := mix64(uint64(seed) ^ kind)
 	h = mix64(h ^ uint64(a))
 	h = mix64(h ^ uint64(b))
 	h = mix64(h ^ uint64(c))
-	return float64(h>>11)/(1<<53) < rate
+	return float64(h>>11) / (1 << 53)
 }
 
 // Active reports whether the plan can inject anything. A nil plan is

@@ -11,6 +11,7 @@ import (
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/mpc"
+	"mpcdist/internal/netchaos"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
 	"mpcdist/internal/workload"
@@ -53,6 +54,14 @@ type BenchConfig struct {
 	// exactly against a telemetry-off baseline — that is how the bench
 	// suite enforces the observability plane's zero-interference invariant.
 	Telemetry bool
+	// TransportOpts tunes the tcp session's liveness machinery (heartbeat,
+	// peer deadline, rejoin grace). Zero means transport defaults.
+	TransportOpts transport.Options
+	// NetChaos, when active, degrades every tcp link with the deterministic
+	// injector. The strongest form of the transport invariant: a chaos run
+	// must still compare exactly against the clean local baseline, with the
+	// recovery cost visible only in the advisory wire fields.
+	NetChaos *netchaos.Plan
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -114,6 +123,12 @@ type BenchResult struct {
 	// exchange, tcp runs the real wire (framing and handshakes included),
 	// so the two are comparable but not equal. Advisory, never compared.
 	WireBytes int64 `json:"wireBytes,omitempty"`
+	// Reconnects/CorruptFrames are the case's self-healing activity on a
+	// tcp session (worker rejoins and CRC-rejected frames). Advisory like
+	// WireBytes — CompareBench never gates on them — they exist so a chaos
+	// bench records what the link survived while the counters stayed exact.
+	Reconnects    int64 `json:"reconnects,omitempty"`
+	CorruptFrames int64 `json:"corruptFrames,omitempty"`
 }
 
 // BenchFile is the BENCH_<stamp>.json schema.
@@ -131,8 +146,12 @@ type BenchFile struct {
 	// Telemetry records whether the tcp session shipped trace events.
 	// Excluded from the config gate for the same reason as Transport:
 	// diffing telemetry-on against a telemetry-off baseline is the check.
-	Telemetry bool          `json:"telemetry,omitempty"`
-	Results   []BenchResult `json:"results"`
+	Telemetry bool `json:"telemetry,omitempty"`
+	// NetChaos records the link-fault schedule the suite ran under, if
+	// any. Excluded from the config gate: diffing a chaos run against the
+	// clean baseline is exactly the robustness invariant.
+	NetChaos string        `json:"netchaos,omitempty"`
+	Results  []BenchResult `json:"results"`
 }
 
 // benchInput is one case's generated problem instance: a byte pair for
@@ -296,24 +315,25 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 		local = transport.NewLocal()
 	case "tcp":
 		var err error
-		sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers, Telemetry: cfg.Telemetry})
+		sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers, Telemetry: cfg.Telemetry,
+			Transport: cfg.TransportOpts, NetChaos: cfg.NetChaos})
 		if err != nil {
 			return BenchFile{}, err
 		}
 		defer sess.Close()
 		file.Workers = cfg.Workers
 		file.Telemetry = cfg.Telemetry
+		if cfg.NetChaos.Active() {
+			file.NetChaos = cfg.NetChaos.String()
+		}
 	default:
 		return BenchFile{}, fmt.Errorf("harness: unknown transport %q (want local or tcp)", cfg.Transport)
 	}
-	wireBytes := func() int64 {
-		var st transport.Stats
+	stats := func() transport.Stats {
 		if sess != nil {
-			st = sess.Stats()
-		} else {
-			st = local.Stats()
+			return sess.Stats()
 		}
-		return st.BytesIn + st.BytesOut
+		return local.Stats()
 	}
 	for _, bc := range benchCases(cfg.Seed) {
 		for _, n := range cfg.Sizes {
@@ -325,7 +345,7 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				p.Transport = local
 			}
 			start := time.Now()
-			wireStart := wireBytes()
+			wireStart := stats()
 			res, err := runCase(bc, bc.gen(n), p, sess)
 			if err != nil {
 				return BenchFile{}, fmt.Errorf("harness: bench %s/%s n=%d: %w", bc.algo, bc.workload, n, err)
@@ -335,6 +355,7 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				times = append(times, rs.Elapsed)
 			}
 			rq := trace.Quantiles(times)
+			wireEnd := stats()
 			file.Results = append(file.Results, BenchResult{
 				Name:     fmt.Sprintf("%s/%s/n=%d", bc.algo, bc.workload, n),
 				Algo:     bc.algo,
@@ -351,10 +372,12 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				Retries:     res.Report.Retries,
 				Phases:      benchPhases(res.Report),
 				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
-				RoundP50Ms:  msOf(rq.P50),
-				RoundP95Ms:  msOf(rq.P95),
-				RoundP99Ms:  msOf(rq.P99),
-				WireBytes:   wireBytes() - wireStart,
+				RoundP50Ms:    msOf(rq.P50),
+				RoundP95Ms:    msOf(rq.P95),
+				RoundP99Ms:    msOf(rq.P99),
+				WireBytes:     wireEnd.BytesIn + wireEnd.BytesOut - wireStart.BytesIn - wireStart.BytesOut,
+				Reconnects:    int64(wireEnd.Reconnects - wireStart.Reconnects),
+				CorruptFrames: int64(wireEnd.CorruptFrames - wireStart.CorruptFrames),
 			})
 		}
 	}

@@ -32,9 +32,9 @@ func (f *fakeDist) Status() transport.Status {
 		Self:    0,
 		Seq:     17,
 		Alive:   4,
-		Wire:    transport.Stats{BytesOut: 4096, BytesIn: 2048, Frames: 12, Exchanges: 5},
+		Wire:    transport.Stats{BytesOut: 4096, BytesIn: 2048, Frames: 12, Exchanges: 5, Reconnects: 2, CorruptFrames: 7},
 		Peers: []transport.PeerStatus{
-			{Party: 1, Alive: true, BytesIn: 700, BytesOut: 1400, Frames: 4, RTTP99Ms: 0.25},
+			{Party: 1, Alive: true, BytesIn: 700, BytesOut: 1400, Frames: 4, RTTP99Ms: 0.25, Reconnects: 2, CorruptFrames: 7},
 			{Party: 2, Alive: true, BytesIn: 650, BytesOut: 1300, Frames: 4, RTTP99Ms: 0.5},
 			{Party: 3, Alive: false, BytesIn: 600, BytesOut: 1200, Frames: 4},
 		},
@@ -145,6 +145,10 @@ func TestDistributedMetrics(t *testing.T) {
 		"mpcserve_transport_bytes_out_total 4096",
 		`mpcserve_transport_peer_alive{party="3"} 0`,
 		`mpcserve_transport_peer_rtt_p99_seconds{party="2"} 0.0005`,
+		"mpcserve_transport_reconnects_total 2",
+		"mpcserve_transport_corrupt_frames_total 7",
+		`mpcserve_transport_peer_reconnects_total{party="1"} 2`,
+		`mpcserve_transport_peer_corrupt_frames_total{party="1"} 7`,
 		`mpcserve_worker_machine_rounds_total{party="0"} 6`,
 		`mpcserve_worker_wire_bytes_total{party="2"} 1950`,
 		`mpcserve_worker_retries_total{party="2"} 1`,

@@ -268,6 +268,10 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		p.value("mpcserve_transport_peers_lost_total", "", float64(t.Wire.PeersLost))
 		p.header("mpcserve_transport_reassigns_total", "Machine batches re-executed after a peer loss.", "counter")
 		p.value("mpcserve_transport_reassigns_total", "", float64(t.Wire.Reassigns))
+		p.header("mpcserve_transport_reconnects_total", "Connections recycled and resumed via the rejoin handshake.", "counter")
+		p.value("mpcserve_transport_reconnects_total", "", float64(t.Wire.Reconnects))
+		p.header("mpcserve_transport_corrupt_frames_total", "Frames rejected by the CRC/length check.", "counter")
+		p.value("mpcserve_transport_corrupt_frames_total", "", float64(t.Wire.CorruptFrames))
 
 		peerLabel := func(party int) string {
 			return `party="` + strconv.Itoa(party) + `"`
@@ -286,6 +290,8 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 			{"mpcserve_transport_peer_bytes_out_total", "Bytes sent to this peer.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.BytesOut) }},
 			{"mpcserve_transport_peer_frames_total", "Frames exchanged with this peer.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.Frames) }},
 			{"mpcserve_transport_peer_rtt_p99_seconds", "Heartbeat round-trip p99 (0 until sampled).", "gauge", func(ps transport.PeerStatus) float64 { return ps.RTTP99Ms / 1000 }},
+			{"mpcserve_transport_peer_reconnects_total", "Rejoin reconnects on this peer's slot.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.Reconnects) }},
+			{"mpcserve_transport_peer_corrupt_frames_total", "Corrupt frames rejected on this peer's link.", "counter", func(ps transport.PeerStatus) float64 { return float64(ps.CorruptFrames) }},
 		}
 		for _, s := range peerSeries {
 			if len(t.Peers) == 0 {

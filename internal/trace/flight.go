@@ -45,7 +45,8 @@ type FlightRecorder struct {
 	lat  [flightLatWindow]int64 // rolling round-latency window, ns
 	latN uint64                 // total latencies recorded (ring index = latN % window)
 
-	seen uint64 // total events offered to the recorder, retained or not
+	seen    uint64 // total events offered to the recorder, retained or not
+	corrupt uint64 // corrupt-frame transport events seen (burst trigger)
 
 	dump     atomic.Value // func(reason string)
 	lastDump atomic.Int64 // UnixNano of the last auto dump, for debouncing
@@ -216,11 +217,24 @@ func (f *FlightRecorder) Transport(e TransportEvent) {
 		Kind: e.Kind, Party: e.Party, Seq: e.Seq, IDs: e.IDs, Bytes: e.Bytes,
 		AtNs: nsOf(e.At),
 	}})
+	burst := false
+	if e.Kind == TransportCorrupt {
+		f.corrupt++
+		burst = f.corrupt%flightCorruptBurst == 0
+	}
 	f.mu.Unlock()
 	if e.Kind == TransportPeerLost {
 		f.Trigger("transport: " + TransportPeerLost)
 	}
+	if burst {
+		f.Trigger("transport: corrupt-frame burst")
+	}
 }
+
+// flightCorruptBurst is how many corrupt-frame events auto-trigger a dump:
+// one flipped bit is chaos-as-usual, a burst means a dirty link worth a
+// post-mortem.
+const flightCorruptBurst = 8
 
 // Ingest folds a remote party's telemetry batch into the rings, so a
 // coordinator's dump shows every party's recent events even when no full

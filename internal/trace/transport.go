@@ -4,10 +4,13 @@ import "time"
 
 // Transport event kinds (TransportEvent.Kind).
 const (
-	TransportHandshake = "handshake" // session established: all workers registered
-	TransportPeerLost  = "peer-lost" // a peer stopped responding (conn error or heartbeat deadline)
-	TransportReassign  = "reassign"  // a lost peer's machines were re-executed elsewhere
-	TransportExchange  = "exchange"  // one round barrier completed
+	TransportHandshake = "handshake"     // session established: all workers registered
+	TransportPeerLost  = "peer-lost"     // a peer was permanently evicted (conn error past grace, corrupt burst)
+	TransportSuspect   = "peer-suspect"  // a peer's connection failed; its slot is held for rejoin
+	TransportReconnect = "reconnect"     // a peer redialed and resumed its session slot
+	TransportCorrupt   = "corrupt-frame" // a frame failed the CRC/length integrity check
+	TransportReassign  = "reassign"      // a lost peer's machines were re-executed elsewhere
+	TransportExchange  = "exchange"      // one round barrier completed
 )
 
 // TransportEvent reports one occurrence in the distributed shuffle

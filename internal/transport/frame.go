@@ -3,7 +3,9 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sort"
@@ -14,16 +16,21 @@ import (
 
 // Wire protocol (see docs/DISTRIBUTED.md): every frame is
 //
-//	[1 byte type][4 bytes big-endian body length][body]
+//	[1 byte type][4 bytes big-endian body length][body][4 bytes CRC32-C]
 //
-// Bodies are built from the same primitives as the payload codec (varints,
-// length-prefixed strings); records embed codec-encoded payload values.
+// The trailing checksum covers the header and body, so a flipped bit
+// anywhere in the frame — type, length, or payload — surfaces as a typed
+// CorruptFrameError instead of reaching the codec. Bodies are built from
+// the same primitives as the payload codec (varints, length-prefixed
+// strings); records embed codec-encoded payload values.
 
 // ProtocolVersion is bumped on any incompatible change to the framing or
 // the handshake. The coordinator rejects workers announcing a different
 // version. Version 2 added the welcome's clock-sync timestamp and
-// telemetry flag, plus the fTelemetry and fPong frames.
-const ProtocolVersion = 2
+// telemetry flag, plus the fTelemetry and fPong frames. Version 3 added
+// the CRC32-C frame trailer and the session-resume handshake (structured
+// hello, welcome session token + rejoin grace).
+const ProtocolVersion = 3
 
 // helloMagic opens the fHello body so a coordinator can immediately reject
 // a stray connection that is not an mpcdist worker.
@@ -80,12 +87,64 @@ func (t frameType) String() string {
 // hostile stream, not a big round.
 const maxFrame = 1 << 30
 
-// frameHeaderLen is the fixed per-frame overhead: type byte + length word.
+// frameHeaderLen is the fixed per-frame header: type byte + length word.
 const frameHeaderLen = 5
+
+// frameCRCLen is the CRC32-C trailer every frame carries since protocol
+// version 3.
+const frameCRCLen = 4
+
+// frameOverhead is the total fixed per-frame overhead on the wire.
+const frameOverhead = frameHeaderLen + frameCRCLen
+
+// crcTable drives the frame checksum: CRC32-C (Castagnoli), the
+// polynomial with hardware support on both amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type frame struct {
 	typ  frameType
 	body []byte
+}
+
+// appendFrame encodes one complete wire frame — header, body, CRC32-C
+// trailer — onto buf. It is the single source of truth for the frame
+// layout; peer.write produces identical bytes and the corruption fuzz
+// target mutates its output.
+func appendFrame(buf []byte, t frameType, body []byte) []byte {
+	buf = append(buf, byte(t))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	sum := crc32.Update(0, crcTable, buf[len(buf)-len(body)-frameHeaderLen:])
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// readFrame reads and verifies one frame from br. Integrity violations —
+// an impossible announced length or a checksum mismatch — come back as
+// *CorruptFrameError; plain I/O errors pass through unchanged. A corrupt
+// frame leaves the stream position undefined (the length word itself may
+// be the corrupted byte), so callers must recycle the connection rather
+// than resynchronize.
+func readFrame(br *bufio.Reader) (frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return frame{}, &CorruptFrameError{Type: hdr[0], Len: int64(n),
+			Reason: fmt.Sprintf("announced length exceeds limit %d", maxFrame)}
+	}
+	body := make([]byte, n+frameCRCLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return frame{}, err
+	}
+	sum := crc32.Update(0, crcTable, hdr[:])
+	sum = crc32.Update(sum, crcTable, body[:n])
+	if got := binary.BigEndian.Uint32(body[n:]); got != sum {
+		return frame{}, &CorruptFrameError{Type: hdr[0], Len: int64(n),
+			Reason: fmt.Sprintf("crc mismatch: frame carries %#08x, computed %#08x", got, sum)}
+	}
+	return frame{typ: frameType(hdr[0]), body: body[:n:n]}, nil
 }
 
 // countConn counts bytes crossing a net.Conn — the bytes-on-wire metric
@@ -120,6 +179,7 @@ type peer struct {
 
 	bytesIn, bytesOut atomic.Int64
 	frames            atomic.Int64
+	corrupt           atomic.Int64 // frames this conn rejected on CRC/length
 
 	// Heartbeat RTT: pingLoop stamps lastPingNs before each fPing; the
 	// fPong reply closes the loop in readLoop. Samples live in a small
@@ -236,44 +296,51 @@ func (p *peer) pingLoop(interval time.Duration) {
 	}
 }
 
-// read blocks for one frame, refreshing the deadline first.
+// read blocks for one frame, refreshing the deadline first. A corrupt
+// frame (CRC or length-word violation) is counted and returned as a
+// *CorruptFrameError; the stream is unrecoverable past it.
 func (p *peer) read() (frame, error) {
 	if p.timeout > 0 {
 		if err := p.conn.SetReadDeadline(time.Now().Add(p.timeout)); err != nil {
 			return frame{}, err
 		}
 	}
-	var hdr [5]byte
-	if _, err := io.ReadFull(p.br, hdr[:]); err != nil {
-		return frame{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return frame{}, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(p.br, body); err != nil {
+	f, err := readFrame(p.br)
+	if err != nil {
+		var cfe *CorruptFrameError
+		if errors.As(err, &cfe) {
+			cfe.Party = p.party
+			p.corrupt.Add(1)
+		}
 		return frame{}, err
 	}
 	p.frames.Add(1)
 	p.lastHeardNs.Store(time.Now().UnixNano())
-	return frame{typ: frameType(hdr[0]), body: body}, nil
+	return f, nil
 }
 
-// write sends one frame; safe for concurrent use.
+// write sends one frame; safe for concurrent use. The CRC is computed
+// incrementally over header and body so large bodies are never copied.
 func (p *peer) write(t frameType, body []byte) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit %d", t, len(body), maxFrame)
 	}
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	var hdr [5]byte
+	var hdr [frameHeaderLen]byte
 	hdr[0] = byte(t)
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
 	if _, err := p.bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	if _, err := p.bw.Write(body); err != nil {
+		return err
+	}
+	sum := crc32.Update(0, crcTable, hdr[:])
+	sum = crc32.Update(sum, crcTable, body)
+	var trailer [frameCRCLen]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	if _, err := p.bw.Write(trailer[:]); err != nil {
 		return err
 	}
 	p.frames.Add(1)
@@ -508,13 +575,18 @@ func decodeAssign(body []byte) (int, []int, error) {
 // wall clock when it built the frame — the worker combines it with its
 // own hello-send and welcome-receive times into an NTP-style midpoint
 // offset estimate. Telemetry tells the worker whether to buffer and ship
-// trace telemetry back at round barriers.
+// trace telemetry back at round barriers. Token is the session-resume
+// credential a dropped worker presents when redialing; GraceNs is how
+// long the coordinator will hold the worker's slot for that rejoin
+// (0 = the coordinator evicts immediately, so don't bother).
 type welcome struct {
 	Version   int
 	Parties   int
 	Self      int
 	ClockNs   int64
 	Telemetry bool
+	Token     string
+	GraceNs   int64
 	Table     []string
 }
 
@@ -528,6 +600,8 @@ func encodeWelcome(w welcome) []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	buf = appendString(buf, w.Token)
+	buf = binary.AppendVarint(buf, w.GraceNs)
 	buf = binary.AppendUvarint(buf, uint64(len(w.Table)))
 	for _, name := range w.Table {
 		buf = appendString(buf, name)
@@ -560,6 +634,12 @@ func decodeWelcome(body []byte) (welcome, error) {
 	}
 	w.Telemetry = data[0] == 1
 	data = data[1:]
+	if w.Token, data, err = readString(data); err != nil {
+		return w, err
+	}
+	if w.GraceNs, data, err = readVarint(data); err != nil {
+		return w, err
+	}
 	count, data, err := readUvarint(data)
 	if err != nil {
 		return w, err
@@ -581,25 +661,77 @@ func decodeWelcome(body []byte) (welcome, error) {
 	return w, nil
 }
 
-func encodeHello() []byte {
-	buf := binary.AppendUvarint(nil, helloMagic)
-	return binary.AppendUvarint(buf, ProtocolVersion)
+// hello is the decoded fHello body. A fresh worker sends only the magic
+// and version; a worker resuming a dropped session additionally presents
+// the session token, its party id, the last merged exchange seq it fully
+// processed (so the coordinator can resend a merged frame lost in
+// flight), and whether it still needs the current job spec (it was
+// between jobs when the connection died).
+type hello struct {
+	Version   int
+	Resume    bool
+	Token     string
+	Party     int
+	LastAcked int
+	NeedJob   bool
 }
 
-func decodeHello(body []byte) (version int, err error) {
+func encodeHello(h hello) []byte {
+	buf := binary.AppendUvarint(nil, helloMagic)
+	buf = binary.AppendUvarint(buf, uint64(h.Version))
+	var flags byte
+	if h.Resume {
+		flags |= 1
+	}
+	if h.NeedJob {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	if !h.Resume {
+		return buf
+	}
+	buf = appendString(buf, h.Token)
+	buf = binary.AppendUvarint(buf, uint64(h.Party))
+	return binary.AppendUvarint(buf, uint64(h.LastAcked))
+}
+
+func decodeHello(body []byte) (hello, error) {
+	var h hello
 	magic, data, err := readUvarint(body)
 	if err != nil {
-		return 0, err
+		return h, err
 	}
 	if magic != helloMagic {
-		return 0, fmt.Errorf("transport: bad hello magic %#x", magic)
+		return h, fmt.Errorf("transport: bad hello magic %#x", magic)
 	}
 	v, data, err := readUvarint(data)
 	if err != nil {
-		return 0, err
+		return h, err
+	}
+	h.Version = int(v)
+	if len(data) < 1 {
+		return h, errTruncated
+	}
+	flags := data[0]
+	data = data[1:]
+	h.Resume = flags&1 != 0
+	h.NeedJob = flags&2 != 0
+	if h.Resume {
+		if h.Token, data, err = readString(data); err != nil {
+			return h, err
+		}
+		var p, acked uint64
+		if p, data, err = readUvarint(data); err != nil {
+			return h, err
+		}
+		h.Party = int(p)
+		if acked, data, err = readUvarint(data); err != nil {
+			return h, err
+		}
+		h.LastAcked = int(acked)
 	}
 	if len(data) != 0 {
-		return 0, fmt.Errorf("transport: %d trailing bytes after hello", len(data))
+		return h, fmt.Errorf("transport: %d trailing bytes after hello", len(data))
 	}
-	return int(v), nil
+	return h, nil
 }

@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -23,6 +26,23 @@ type Options struct {
 	// HandshakeTimeout bounds worker registration (process spawn + dial +
 	// hello/welcome).
 	HandshakeTimeout time.Duration // default 30s
+	// RejoinGrace, on a coordinator, holds a lost worker's slot open for
+	// this long: instead of immediate eviction the worker is held suspect,
+	// and if it redials with the session token inside the window it resumes
+	// its slot with no deterministic-state loss. Zero (the default) keeps
+	// the historical behavior — any connection failure evicts the peer.
+	// Workers learn the window from the welcome frame and bound their
+	// reconnect loop by it.
+	RejoinGrace time.Duration
+	// CorruptTolerance caps cumulative corrupt frames per peer slot before
+	// the coordinator stops offering rejoin and evicts the peer for good.
+	// Zero or negative means DefaultCorruptTolerance.
+	CorruptTolerance int
+	// WrapConn, when non-nil, wraps every transport connection — initial
+	// handshakes and rejoin redials on both sides. This is the injection
+	// point for internal/netchaos; wrappers exposing an Arm() method start
+	// disarmed and are armed only after the handshake completes.
+	WrapConn func(net.Conn) net.Conn
 	// OnEvent, when non-nil, receives transport-level trace events
 	// (handshake, exchange barriers, peer losses, reassignments).
 	OnEvent func(trace.TransportEvent)
@@ -39,6 +59,15 @@ type Options struct {
 	// TestDieAtParty restricts TestDieAtSeq to the worker holding the
 	// given party index. Zero means every worker it is set on.
 	TestDieAtParty int
+	// TestDropConnAtSeq, on a worker, closes the transport connection under
+	// the session's feet at the start of the given exchange (1-based) — a
+	// deterministic mid-round link failure. With a rejoin grace in force
+	// the worker must reconnect, resume its slot, and finish the job with
+	// bit-identical results. Zero disables.
+	TestDropConnAtSeq int
+	// TestDropConnAtParty restricts TestDropConnAtSeq to the worker holding
+	// the given party index. Zero means every worker it is set on.
+	TestDropConnAtParty int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = 30 * time.Second
+	}
+	if o.CorruptTolerance <= 0 {
+		o.CorruptTolerance = DefaultCorruptTolerance
 	}
 	return o
 }
@@ -67,49 +99,127 @@ func init() { Register("trace.Telemetry", trace.Telemetry{}) }
 // worker there are no more jobs.
 var ErrShutdown = errors.New("transport: session shut down")
 
-// peerEvent is one inbound occurrence on a worker connection: a frame
-// (ok), or the connection's death (!ok, cause in the peer's readErr).
+// armConn arms a chaos wrapper (see Options.WrapConn) once the handshake
+// is done; plain connections are left alone.
+func armConn(c net.Conn) {
+	if a, ok := c.(interface{ Arm() }); ok {
+		a.Arm()
+	}
+}
+
+// newToken mints the session-resume credential carried by the welcome
+// frame and required back in every resume hello.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Out of entropy is not a working machine; without a token rejoin
+		// is simply never offered.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// peerState is the coordinator's liveness view of one worker slot.
+type peerState uint8
+
+const (
+	peerUp      peerState = iota // connection live
+	peerSuspect                  // connection failed; slot held for rejoin
+	peerDead                     // permanently evicted
+)
+
+// Event kinds on the coordinator's internal event channel.
+const (
+	evFrame  = iota // an inbound frame (f valid)
+	evDeath         // the slot's connection failed (state already updated)
+	evGrace         // the slot's rejoin grace expired
+	evRejoin        // the slot resumed on a fresh connection
+)
+
+// peerEvent is one occurrence on a worker slot. gen stamps which
+// connection generation produced it, so events from a retired connection
+// cannot act on its replacement; frames are generation-agnostic (data is
+// data — the dedup layers make duplicates harmless).
 type peerEvent struct {
-	w  int // worker index (party w+1)
-	f  frame
-	ok bool
+	w    int
+	gen  int
+	kind int
+	f    frame
+}
+
+// slotCounters accumulates the wire counters of a slot's retired
+// connections, so Stats survive connection recycling.
+type slotCounters struct {
+	bytesIn, bytesOut, frames, corrupt, reconnects int64
+}
+
+func (s *slotCounters) retire(p *peer) {
+	s.bytesIn += p.bytesIn.Load()
+	s.bytesOut += p.bytesOut.Load()
+	s.frames += p.frames.Load()
+	s.corrupt += p.corrupt.Load()
 }
 
 // Coordinator is party 0 of a TCP session: it owns the worker
-// registrations, drives the per-round barrier, detects lost workers, and
-// reassigns their machines mid-round. It implements Transport.
+// registrations, drives the per-round barrier, detects lost workers,
+// holds them suspect through the rejoin grace, and reassigns their
+// machines when they are truly gone. It implements Transport.
 type Coordinator struct {
 	opts   Options
 	codec  *Codec
-	peers  []*peer
+	ln     net.Listener // retained for rejoin accepts when RejoinGrace > 0
+	token  string
 	events chan peerEvent
-	seq    int
+	done   chan struct{}
 
-	// mu guards st, alive, the telemetry buffer, and the current-round
-	// snapshot. The driver goroutine is the only writer of alive/seq/cur,
-	// so its own reads stay unlocked; the mutex makes the Status endpoint
-	// (read from an HTTP goroutine) safe.
-	mu    sync.Mutex
-	st    Stats
-	alive []bool
-	tel   []trace.Telemetry
-	cur   RoundMeta
+	// mu guards everything below. The driver goroutine (StartJob /
+	// Exchange / Results) is the main writer of seq/cur; connection
+	// failures and rejoins mutate peers/state/gen from pump and accept
+	// goroutines, so every access takes the lock.
+	mu      sync.Mutex
+	st      Stats
+	peers   []*peer
+	state   []peerState
+	gen     []int
+	retired []slotCounters
+	tel     []trace.Telemetry
+	seq     int
+	cur     RoundMeta
+	jobSeq  uint64
+	jobAct  bool
+	lastJob []byte // encoded fJobStart body (jobSeq-prefixed), for rejoin resync
+
+	// The last merged barrier broadcast, stored before any write so a
+	// rejoining worker whose copy died with its connection can be caught
+	// up exactly.
+	lastMergedSeq  int
+	lastMergedBody []byte
+
+	closing bool
+	timers  []*time.Timer
 }
 
 // NewCoordinator accepts and registers exactly `workers` worker processes
 // on ln, handshaking each: the worker's hello (magic + protocol version)
 // is validated, then the welcome ships the protocol version, the party
-// count and the worker's party index, and the payload-codec name table —
-// so the two processes agree on every wire id before any round runs.
+// count and the worker's party index, the session-resume token and rejoin
+// grace, and the payload-codec name table — so the two processes agree on
+// every wire id before any round runs. With a rejoin grace configured the
+// listener stays open for session-resume redials until Close.
 func NewCoordinator(ln net.Listener, workers int, opts Options) (*Coordinator, error) {
 	opts = opts.withDefaults()
 	c := &Coordinator{
-		opts:   opts,
-		codec:  NewCodec(),
-		events: make(chan peerEvent, 2*workers+4),
-		alive:  make([]bool, workers),
+		opts:    opts,
+		codec:   NewCodec(),
+		token:   newToken(),
+		events:  make(chan peerEvent, 4*workers+16),
+		done:    make(chan struct{}),
+		state:   make([]peerState, workers),
+		gen:     make([]int, workers),
+		retired: make([]slotCounters, workers),
 	}
 	deadline := time.Now().Add(opts.HandshakeTimeout)
+	conns := make([]net.Conn, 0, workers)
 	for i := 0; i < workers; i++ {
 		if tl, ok := ln.(*net.TCPListener); ok {
 			tl.SetDeadline(deadline)
@@ -119,6 +229,9 @@ func NewCoordinator(ln net.Listener, workers int, opts Options) (*Coordinator, e
 			c.Close()
 			return nil, fmt.Errorf("transport: waiting for worker %d/%d: %w", i+1, workers, err)
 		}
+		if opts.WrapConn != nil {
+			conn = opts.WrapConn(conn)
+		}
 		p := newPeer(conn, i+1, opts.PeerTimeout)
 		if err := c.handshake(p, workers, i+1, deadline); err != nil {
 			p.close()
@@ -126,11 +239,19 @@ func NewCoordinator(ln net.Listener, workers int, opts Options) (*Coordinator, e
 			return nil, err
 		}
 		c.peers = append(c.peers, p)
-		c.alive[i] = true
+		conns = append(conns, conn)
+	}
+	if opts.RejoinGrace > 0 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{})
+		}
+		c.ln = ln
+		go c.acceptLoop(ln)
 	}
 	for i, p := range c.peers {
+		armConn(conns[i])
 		p.start(opts.HeartbeatInterval)
-		go c.pump(i, p)
+		go c.pump(i, p, 0)
 	}
 	c.event(trace.TransportEvent{Kind: trace.TransportHandshake, Party: -1, IDs: workers})
 	return c, nil
@@ -146,12 +267,17 @@ func (c *Coordinator) handshake(p *peer, workers, party int, deadline time.Time)
 	if f.typ != fHello {
 		return fmt.Errorf("transport: worker %d sent %s, want hello", party, f.typ)
 	}
-	v, err := decodeHello(f.body)
+	h, err := decodeHello(f.body)
 	if err != nil {
 		return fmt.Errorf("transport: worker %d: %w", party, err)
 	}
-	if v != ProtocolVersion {
-		msg := fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", ProtocolVersion, v)
+	if h.Version != ProtocolVersion {
+		msg := fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", ProtocolVersion, h.Version)
+		p.write(fError, []byte(msg))
+		return errors.New("transport: " + msg)
+	}
+	if h.Resume {
+		msg := "session-resume hello during registration"
 		p.write(fError, []byte(msg))
 		return errors.New("transport: " + msg)
 	}
@@ -166,17 +292,31 @@ func (c *Coordinator) handshake(p *peer, workers, party int, deadline time.Time)
 		// shipping is out-of-band by contract — only advisory wire volume
 		// changes, never a deterministic counter.
 		Telemetry: c.opts.Telemetry || trace.FlightEnabled(),
+		Token:     c.token,
+		GraceNs:   int64(c.opts.RejoinGrace),
 		Table:     c.codec.Table(),
 	}))
 }
 
-// pump forwards one peer's inbox into the shared event channel, closing
-// with a death event. It is the only reader of p.inbox.
-func (c *Coordinator) pump(w int, p *peer) {
+// pump forwards one connection's inbox into the shared event channel,
+// reporting the connection's death when the inbox closes. It is the only
+// reader of p.inbox.
+func (c *Coordinator) pump(w int, p *peer, gen int) {
 	for f := range p.inbox {
-		c.events <- peerEvent{w: w, f: f, ok: true}
+		select {
+		case c.events <- peerEvent{w: w, gen: gen, kind: evFrame, f: f}:
+		case <-c.done:
+			return
+		}
 	}
-	c.events <- peerEvent{w: w}
+	// State must transition here (not in the driver's event loop): a
+	// worker may redial while the driver is idle between exchanges, and
+	// the rejoin handler needs to find the slot already suspect.
+	c.connFailed(w, p, p.readErr)
+	select {
+	case c.events <- peerEvent{w: w, gen: gen, kind: evDeath}:
+	case <-c.done:
+	}
 }
 
 func (c *Coordinator) event(e trace.TransportEvent) {
@@ -195,61 +335,257 @@ func (c *Coordinator) event(e trace.TransportEvent) {
 }
 
 // Parties implements Transport.
-func (c *Coordinator) Parties() (int, int) { return len(c.peers) + 1, 0 }
+func (c *Coordinator) Parties() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers) + 1, 0
+}
 
 // Codec returns the session's payload codec (for encoding job specs and
 // result digests with the same table the round traffic uses).
 func (c *Coordinator) Codec() *Codec { return c.codec }
 
-// markDead declares worker w lost; returns false if it already was.
-func (c *Coordinator) markDead(w int, cause error) bool {
-	if !c.alive[w] {
-		return false
-	}
+func (c *Coordinator) curSeq() int {
 	c.mu.Lock()
-	c.alive[w] = false
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+func (c *Coordinator) stateOf(w int) peerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state[w]
+}
+
+func (c *Coordinator) genOf(w int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen[w]
+}
+
+func (c *Coordinator) peerAt(w int) (*peer, peerState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peers[w], c.state[w]
+}
+
+// connFailed handles the failure of slot w's connection p: retire its
+// counters, then either hold the slot suspect for the rejoin grace or
+// evict it for good (no grace configured, or the peer burned through the
+// corrupt-frame tolerance). Safe from any goroutine; no-op if the slot
+// has already moved on (a rejoin swapped in a fresh connection).
+func (c *Coordinator) connFailed(w int, p *peer, cause error) {
+	c.mu.Lock()
+	if c.closing || c.peers[w] != p || c.state[w] != peerUp {
+		c.mu.Unlock()
+		return
+	}
+	gen := c.gen[w]
+	c.retired[w].retire(p)
+	var cfe *CorruptFrameError
+	isCorrupt := errors.As(cause, &cfe)
+	overTol := c.retired[w].corrupt > int64(c.opts.CorruptTolerance)
+	if c.opts.RejoinGrace > 0 && !overTol {
+		c.state[w] = peerSuspect
+		t := time.AfterFunc(c.opts.RejoinGrace, func() {
+			select {
+			case c.events <- peerEvent{w: w, gen: gen, kind: evGrace}:
+			case <-c.done:
+			}
+		})
+		c.timers = append(c.timers, t)
+		c.mu.Unlock()
+		p.close()
+		if isCorrupt {
+			c.event(trace.TransportEvent{Kind: trace.TransportCorrupt, Party: w + 1, Seq: c.curSeq()})
+		}
+		c.event(trace.TransportEvent{Kind: trace.TransportSuspect, Party: w + 1, Seq: c.curSeq()})
+		return
+	}
+	c.state[w] = peerDead
 	c.st.PeersLost++
 	c.mu.Unlock()
-	c.peers[w].close()
-	c.event(trace.TransportEvent{Kind: trace.TransportPeerLost, Party: w + 1, Seq: c.seq})
-	_ = cause
+	p.close()
+	if isCorrupt {
+		c.event(trace.TransportEvent{Kind: trace.TransportCorrupt, Party: w + 1, Seq: c.curSeq()})
+	}
+	if overTol {
+		trace.FlightTrigger("transport: corrupt-frame burst")
+	}
+	c.event(trace.TransportEvent{Kind: trace.TransportPeerLost, Party: w + 1, Seq: c.curSeq()})
+}
+
+// markDeadFromSuspect finalizes an expired grace window. Returns false if
+// the slot rejoined (or died otherwise) in the meantime.
+func (c *Coordinator) markDeadFromSuspect(w, gen int) bool {
+	c.mu.Lock()
+	if c.closing || c.gen[w] != gen || c.state[w] != peerSuspect {
+		c.mu.Unlock()
+		return false
+	}
+	c.state[w] = peerDead
+	c.st.PeersLost++
+	c.mu.Unlock()
+	c.event(trace.TransportEvent{Kind: trace.TransportPeerLost, Party: w + 1, Seq: c.curSeq()})
 	return true
 }
 
-func (c *Coordinator) firstLive() int {
-	for w := range c.peers {
-		if c.alive[w] {
-			return w
+// acceptLoop serves session-resume redials for the life of the session
+// (only started when a rejoin grace is configured).
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
 		}
+		go c.rejoin(conn)
 	}
-	return -1
 }
 
-// StartJob broadcasts an opaque job spec to every live worker. Workers
-// lost here are recovered like mid-round losses: their machines get
-// reassigned at every subsequent exchange.
+// rejoin handshakes one redialing worker and, if its token checks out and
+// its slot is not evicted, swaps the fresh connection in and resyncs the
+// worker to the current barrier: the job spec if it was between jobs, the
+// last merged broadcast if its copy died in flight. Everything resent is
+// deduplicated on the worker, so resync can only fill gaps, never double
+// anything.
+func (c *Coordinator) rejoin(conn net.Conn) {
+	if c.opts.WrapConn != nil {
+		conn = c.opts.WrapConn(conn)
+	}
+	p := newPeer(conn, 0, c.opts.PeerTimeout)
+	p.conn.SetDeadline(time.Now().Add(c.opts.HandshakeTimeout))
+	f, err := p.read()
+	if err != nil || f.typ != fHello {
+		p.close()
+		return
+	}
+	h, err := decodeHello(f.body)
+	if err != nil {
+		p.close()
+		return
+	}
+	if h.Version != ProtocolVersion || !h.Resume {
+		p.write(fError, []byte("transport: expected session-resume hello"))
+		p.close()
+		return
+	}
+	w := h.Party - 1
+	c.mu.Lock()
+	if c.closing || c.token == "" || h.Token != c.token || w < 0 || w >= len(c.peers) {
+		c.mu.Unlock()
+		p.write(fError, []byte("transport: bad resume token or party"))
+		p.close()
+		return
+	}
+	if c.state[w] == peerDead {
+		c.mu.Unlock()
+		p.write(fError, []byte("transport: party evicted (rejoin grace expired)"))
+		p.close()
+		return
+	}
+	old := c.peers[w]
+	if c.state[w] == peerUp {
+		// The worker saw the failure before we did: it gets a write error
+		// instantly while our read deadline takes up to PeerTimeout to
+		// fire. Adopt the fresh connection and retire the stale one.
+		c.retired[w].retire(old)
+	}
+	p.party = h.Party
+	c.peers[w] = p
+	c.gen[w]++
+	gen := c.gen[w]
+	c.state[w] = peerUp
+	c.st.Reconnects++
+	c.retired[w].reconnects++
+	mergedSeq, mergedBody := c.lastMergedSeq, c.lastMergedBody
+	jobAct, lastJob := c.jobAct, c.lastJob
+	c.mu.Unlock()
+	if old != p {
+		old.close()
+	}
+	err = p.write(fWelcome, encodeWelcome(welcome{
+		Version:   ProtocolVersion,
+		Parties:   c.partiesLocked(),
+		Self:      h.Party,
+		ClockNs:   time.Now().UnixNano(),
+		Telemetry: c.opts.Telemetry || trace.FlightEnabled(),
+		Token:     c.token,
+		GraceNs:   int64(c.opts.RejoinGrace),
+		Table:     c.codec.Table(),
+	}))
+	if err == nil && h.NeedJob && jobAct {
+		err = p.write(fJobStart, lastJob)
+	}
+	if err == nil && !h.NeedJob && h.LastAcked < mergedSeq && mergedBody != nil {
+		err = p.write(fMerged, mergedBody)
+	}
+	if err != nil {
+		c.connFailed(w, p, err)
+		return
+	}
+	p.conn.SetDeadline(time.Time{})
+	armConn(conn)
+	p.start(c.opts.HeartbeatInterval)
+	go c.pump(w, p, gen)
+	c.event(trace.TransportEvent{Kind: trace.TransportReconnect, Party: h.Party, Seq: c.curSeq()})
+	select {
+	case c.events <- peerEvent{w: w, gen: gen, kind: evRejoin}:
+	case <-c.done:
+	}
+}
+
+func (c *Coordinator) partiesLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers) + 1
+}
+
+// StartJob broadcasts an opaque job spec to every live worker. The body
+// carries a job sequence number so a rejoin resync can re-deliver it
+// without a worker ever running the same job twice. Workers suspect or
+// lost here are recovered like mid-round losses.
 func (c *Coordinator) StartJob(job []byte) error {
-	for w := range c.peers {
-		if !c.alive[w] {
-			continue
+	c.mu.Lock()
+	c.jobSeq++
+	body := encodeJobStart(c.jobSeq, job)
+	c.lastJob = body
+	c.jobAct = true
+	peers := append([]*peer(nil), c.peers...)
+	states := append([]peerState(nil), c.state...)
+	c.mu.Unlock()
+	for w := range peers {
+		if states[w] != peerUp {
+			continue // a suspect gets the job from the rejoin resync
 		}
-		if err := c.peers[w].write(fJobStart, job); err != nil {
-			c.markDead(w, err)
+		if err := peers[w].write(fJobStart, body); err != nil {
+			// The slot may have swapped connections between the snapshot
+			// and the write; retry once on the current one before treating
+			// the failure as a connection loss.
+			if cur, st := c.peerAt(w); cur != peers[w] && st == peerUp {
+				if err2 := cur.write(fJobStart, body); err2 != nil {
+					c.connFailed(w, cur, err2)
+				}
+				continue
+			}
+			c.connFailed(w, peers[w], err)
 		}
 	}
 	return nil
 }
 
 // Exchange implements Transport: gather every party's records for the
-// round, reassigning a lost worker's pending machines to a live worker
-// (or replaying them locally when none remains), then broadcast the
-// merged, machine-sorted round to all live workers — the round barrier.
+// round, riding out connection failures (suspects may rejoin and resume
+// mid-round), reassigning a truly lost worker's pending machines to a
+// live worker (or replaying them locally when none remains), then
+// broadcast the merged, machine-sorted round — the round barrier.
 func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
 	c.mu.Lock()
 	c.seq++
-	c.cur = meta
-	c.mu.Unlock()
 	seq := c.seq
+	c.cur = meta
+	workers := len(c.peers)
+	states := append([]peerState(nil), c.state...)
+	c.mu.Unlock()
 
 	merged := make(map[int]Record, len(local)*2)
 	mine := make(map[int]bool, len(local))
@@ -260,17 +596,24 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 
 	// owed[w] tracks machine ids worker w has been asked to execute and
 	// has not delivered; needBarrier[w] tracks its mandatory (possibly
-	// empty) initial records frame.
-	owed := make([]map[int]bool, len(c.peers))
-	needBarrier := make([]bool, len(c.peers))
-	var orphans []int // ids owned by workers already dead at round start
-	for w := range c.peers {
+	// empty) initial records frame; extra[w] marks the owed ids that were
+	// delivered via fAssign (and so must be re-sent if the connection the
+	// frame rode died). pending parks ids whose owner died while every
+	// surviving worker was suspect — they are reassigned when a suspect
+	// resolves (rejoin or grace expiry).
+	owed := make([]map[int]bool, workers)
+	extra := make([]map[int]bool, workers)
+	needBarrier := make([]bool, workers)
+	var pending []int
+	var orphans []int
+	for w := 0; w < workers; w++ {
 		owed[w] = make(map[int]bool)
+		extra[w] = make(map[int]bool)
 		var ids []int
 		if w+1 < len(assign) {
 			ids = assign[w+1]
 		}
-		if c.alive[w] {
+		if states[w] != peerDead {
 			needBarrier[w] = true
 			for _, id := range ids {
 				owed[w][id] = true
@@ -287,18 +630,51 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 			ids = append(ids, id)
 		}
 		owed[w] = make(map[int]bool)
+		extra[w] = make(map[int]bool)
 		needBarrier[w] = false
 		return ids
 	}
+	takePending := func() []int {
+		ids := pending
+		pending = nil
+		return ids
+	}
+	firstUp := func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for w, s := range c.state {
+			if s == peerUp {
+				return w
+			}
+		}
+		return -1
+	}
+	anySuspect := func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, s := range c.state {
+			if s == peerSuspect {
+				return true
+			}
+		}
+		return false
+	}
 
 	// reassign routes lost machines to the lowest-index live worker,
-	// cascading if that worker dies on send, and falls back to local
-	// replay (exact, by determinism) when no worker remains.
-	reassign := func(ids []int) error {
+	// cascading if that worker dies on send. With no worker up but some
+	// suspect, the ids are parked for the suspect's resolution; with
+	// nobody left at all they are replayed locally (exact, by
+	// determinism).
+	var reassign func(ids []int) error
+	reassign = func(ids []int) error {
 		for len(ids) > 0 {
 			sort.Ints(ids)
-			w := c.firstLive()
+			w := firstUp()
 			if w < 0 {
+				if anySuspect() {
+					pending = append(pending, ids...)
+					return nil
+				}
 				recs, err := exec(ids)
 				if err != nil {
 					return err
@@ -313,14 +689,17 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 				c.event(trace.TransportEvent{Kind: trace.TransportReassign, Party: 0, Seq: seq, IDs: len(ids)})
 				return nil
 			}
-			if err := c.peers[w].write(fAssign, encodeAssign(seq, ids)); err != nil {
-				if c.markDead(w, err) {
+			p, _ := c.peerAt(w)
+			if err := p.write(fAssign, encodeAssign(seq, ids)); err != nil {
+				c.connFailed(w, p, err)
+				if c.stateOf(w) == peerDead {
 					ids = append(ids, collect(w)...)
 				}
 				continue
 			}
 			for _, id := range ids {
 				owed[w][id] = true
+				extra[w][id] = true
 			}
 			c.mu.Lock()
 			c.st.Reassigns++
@@ -335,45 +714,94 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 	}
 
 	done := func() bool {
-		for w := range c.peers {
-			if c.alive[w] && (needBarrier[w] || len(owed[w]) > 0) {
+		if len(pending) > 0 {
+			return false
+		}
+		for w := 0; w < workers; w++ {
+			if c.stateOf(w) != peerDead && (needBarrier[w] || len(owed[w]) > 0) {
 				return false
 			}
 		}
 		return true
 	}
 	for !done() {
-		ev := <-c.events
-		if !ev.ok {
-			if c.markDead(ev.w, c.peers[ev.w].readErr) {
-				if err := reassign(collect(ev.w)); err != nil {
-					return nil, err
-				}
-			}
-			continue
+		var ev peerEvent
+		select {
+		case ev = <-c.events:
+		case <-c.done:
+			return nil, errors.New("transport: coordinator closed")
 		}
-		switch ev.f.typ {
-		case fRecords:
-			rseq, rmeta, recs, err := decodeRecords(c.codec, ev.f.body)
-			if err != nil {
-				return nil, fmt.Errorf("transport: worker %d records: %w", ev.w+1, err)
+		switch ev.kind {
+		case evDeath:
+			if c.genOf(ev.w) != ev.gen || c.stateOf(ev.w) != peerDead {
+				// Held suspect for rejoin, or already superseded by one.
+				continue
 			}
-			if rseq != seq || rmeta != meta {
-				return nil, &DivergenceError{Seq: rseq, WantSeq: seq, Want: meta, Got: rmeta}
+			if err := reassign(append(collect(ev.w), takePending()...)); err != nil {
+				return nil, err
 			}
-			needBarrier[ev.w] = false
-			for _, r := range recs {
-				delete(owed[ev.w], r.Machine)
-				if _, dup := merged[r.Machine]; !dup {
-					merged[r.Machine] = r
+		case evGrace:
+			if !c.markDeadFromSuspect(ev.w, ev.gen) {
+				continue
+			}
+			if err := reassign(append(collect(ev.w), takePending()...)); err != nil {
+				return nil, err
+			}
+		case evRejoin:
+			if c.genOf(ev.w) != ev.gen {
+				continue
+			}
+			// Re-deliver reassignment frames that may have died with the
+			// old connection. The worker re-executes deterministically and
+			// the merge dedups, so a frame that DID arrive costs nothing.
+			var ids []int
+			for id := range owed[ev.w] {
+				if extra[ev.w][id] {
+					ids = append(ids, id)
 				}
 			}
-		case fTelemetry:
-			c.addTelemetry(ev.f.body)
-		case fError:
-			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
-		default:
-			return nil, fmt.Errorf("transport: unexpected %s frame from worker %d during exchange", ev.f.typ, ev.w+1)
+			if len(ids) > 0 {
+				sort.Ints(ids)
+				if p, st := c.peerAt(ev.w); st == peerUp {
+					if err := p.write(fAssign, encodeAssign(seq, ids)); err != nil {
+						c.connFailed(ev.w, p, err)
+					}
+				}
+			}
+			if err := reassign(takePending()); err != nil {
+				return nil, err
+			}
+		case evFrame:
+			switch ev.f.typ {
+			case fRecords:
+				rseq, rmeta, recs, err := decodeRecords(c.codec, ev.f.body)
+				if err != nil {
+					return nil, fmt.Errorf("transport: worker %d records: %w", ev.w+1, err)
+				}
+				if rseq < seq {
+					continue // a rejoining worker re-sent an already-merged round
+				}
+				if rseq != seq || rmeta != meta {
+					trace.FlightTrigger("transport: exchange divergence")
+					return nil, &DivergenceError{Seq: rseq, WantSeq: seq, Want: meta, Got: rmeta}
+				}
+				needBarrier[ev.w] = false
+				for _, r := range recs {
+					delete(owed[ev.w], r.Machine)
+					delete(extra[ev.w], r.Machine)
+					if _, dup := merged[r.Machine]; !dup {
+						merged[r.Machine] = r
+					}
+				}
+			case fResult:
+				continue // duplicate re-send from a prior job's recovery
+			case fTelemetry:
+				c.addTelemetry(ev.f.body)
+			case fError:
+				return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
+			default:
+				return nil, fmt.Errorf("transport: unexpected %s frame from worker %d during exchange", ev.f.typ, ev.w+1)
+			}
 		}
 	}
 
@@ -393,12 +821,26 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 	if err != nil {
 		return nil, err
 	}
-	for w := range c.peers {
-		if !c.alive[w] {
-			continue
+	// Store the barrier before any broadcast write: a worker that rejoins
+	// from here on is resynced from this snapshot, so the merged round can
+	// be lost on the wire but never lost for good.
+	c.mu.Lock()
+	c.lastMergedSeq = seq
+	c.lastMergedBody = body
+	peers := append([]*peer(nil), c.peers...)
+	states = append([]peerState(nil), c.state...)
+	c.mu.Unlock()
+	for w := range peers {
+		if states[w] != peerUp {
+			continue // a suspect is caught up by the rejoin resync
 		}
-		if err := c.peers[w].write(fMerged, body); err != nil {
-			c.markDead(w, err)
+		if err := peers[w].write(fMerged, body); err != nil {
+			if cur, st := c.peerAt(w); cur != peers[w] && st == peerUp {
+				// Slot swapped mid-broadcast; the rejoin resync already
+				// delivered this barrier (lastMergedSeq was stored first).
+				continue
+			}
+			c.connFailed(w, peers[w], err)
 		}
 	}
 	c.mu.Lock()
@@ -408,48 +850,87 @@ func (c *Coordinator) Exchange(meta RoundMeta, assign [][]int, local []Record, e
 	return out, nil
 }
 
-// Results gathers the end-of-job result frame from every live worker
-// (nil for workers lost during the job) — the cross-check that every
-// party's deterministic driver landed on the same answer.
+// Results gathers the end-of-job result frame from every worker not
+// permanently lost (nil for evicted workers) — the cross-check that every
+// party's deterministic driver landed on the same answer. Suspects are
+// waited on: they either rejoin and re-send, or their grace expires.
 func (c *Coordinator) Results() ([][]byte, error) {
-	out := make([][]byte, len(c.peers))
+	c.mu.Lock()
+	jobSeq := c.jobSeq
+	workers := len(c.peers)
+	states := append([]peerState(nil), c.state...)
+	c.mu.Unlock()
+	out := make([][]byte, workers)
+	counted := make([]bool, workers)
 	waiting := 0
-	for w := range c.peers {
-		if c.alive[w] {
+	for w, s := range states {
+		if s != peerDead {
+			counted[w] = true
 			waiting++
 		}
 	}
 	for waiting > 0 {
-		ev := <-c.events
-		if !ev.ok {
-			if c.markDead(ev.w, c.peers[ev.w].readErr) {
+		var ev peerEvent
+		select {
+		case ev = <-c.events:
+		case <-c.done:
+			return nil, errors.New("transport: coordinator closed")
+		}
+		switch ev.kind {
+		case evDeath:
+			if c.genOf(ev.w) == ev.gen && c.stateOf(ev.w) == peerDead && counted[ev.w] {
+				counted[ev.w] = false
 				waiting--
 			}
-			continue
-		}
-		switch ev.f.typ {
-		case fResult:
-			out[ev.w] = ev.f.body
-			waiting--
-		case fTelemetry:
-			c.addTelemetry(ev.f.body)
-		case fError:
-			return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
-		default:
-			return nil, fmt.Errorf("transport: unexpected %s frame from worker %d awaiting results", ev.f.typ, ev.w+1)
+		case evGrace:
+			if c.markDeadFromSuspect(ev.w, ev.gen) && counted[ev.w] {
+				counted[ev.w] = false
+				waiting--
+			}
+		case evRejoin:
+			// Nothing to resync here: the worker re-sends its own result.
+		case evFrame:
+			switch ev.f.typ {
+			case fResult:
+				rjseq, res, err := decodeResult(ev.f.body)
+				if err != nil {
+					return nil, fmt.Errorf("transport: worker %d result: %w", ev.w+1, err)
+				}
+				if rjseq != jobSeq {
+					continue // stale re-send from an earlier job
+				}
+				if out[ev.w] == nil {
+					out[ev.w] = res
+					if counted[ev.w] {
+						counted[ev.w] = false
+						waiting--
+					}
+				}
+			case fRecords:
+				continue // stale barrier re-send from a rejoining worker
+			case fTelemetry:
+				c.addTelemetry(ev.f.body)
+			case fError:
+				return nil, fmt.Errorf("transport: worker %d: %s", ev.w+1, ev.f.body)
+			default:
+				return nil, fmt.Errorf("transport: unexpected %s frame from worker %d awaiting results", ev.f.typ, ev.w+1)
+			}
 		}
 	}
+	c.mu.Lock()
+	c.jobAct = false
+	c.mu.Unlock()
 	return out, nil
 }
 
-// Alive reports how many workers are still responding. Safe to call from
-// any goroutine.
+// Alive reports how many workers are currently connected. Safe to call
+// from any goroutine.
 func (c *Coordinator) Alive() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for _, a := range c.alive {
-		if a {
+	for _, s := range c.state {
+		if s == peerUp {
 			n++
 		}
 	}
@@ -496,20 +977,25 @@ func (c *Coordinator) DrainTelemetry() []trace.Telemetry {
 }
 
 // PeerStats reports per-worker wire counters and heartbeat RTT estimates,
-// ordered by party index (entry i is party i+1).
+// ordered by party index (entry i is party i+1). Counters include every
+// retired connection the slot has burned through.
 func (c *Coordinator) PeerStats() []PeerStats {
 	c.mu.Lock()
-	alive := append([]bool(nil), c.alive...)
+	peers := append([]*peer(nil), c.peers...)
+	states := append([]peerState(nil), c.state...)
+	ret := append([]slotCounters(nil), c.retired...)
 	c.mu.Unlock()
-	out := make([]PeerStats, len(c.peers))
-	for i, p := range c.peers {
+	out := make([]PeerStats, len(peers))
+	for i, p := range peers {
 		out[i] = PeerStats{
-			Party:    p.party,
-			Alive:    alive[i],
-			BytesIn:  p.bytesIn.Load(),
-			BytesOut: p.bytesOut.Load(),
-			Frames:   p.frames.Load(),
-			RTTP99:   p.rttP99(),
+			Party:         i + 1,
+			Alive:         states[i] == peerUp,
+			BytesIn:       ret[i].bytesIn + p.bytesIn.Load(),
+			BytesOut:      ret[i].bytesOut + p.bytesOut.Load(),
+			Frames:        ret[i].frames + p.frames.Load(),
+			RTTP99:        p.rttP99(),
+			Reconnects:    ret[i].reconnects,
+			CorruptFrames: ret[i].corrupt + p.corrupt.Load(),
 		}
 		if ns := p.lastHeardNs.Load(); ns > 0 {
 			out[i].LastHeard = time.Unix(0, ns)
@@ -524,17 +1010,21 @@ func (c *Coordinator) Status() Status {
 	now := time.Now()
 	c.mu.Lock()
 	seq, cur := c.seq, c.cur
+	parties := len(c.peers) + 1
 	c.mu.Unlock()
 	st := Status{
-		Role:    "coordinator",
-		Parties: len(c.peers) + 1,
-		Self:    0,
-		Seq:     seq,
-		Round:   cur.Round,
-		Name:    cur.Name,
-		Phase:   cur.Phase,
-		Alive:   1,
-		Wire:    c.Stats(),
+		Role:           "coordinator",
+		Parties:        parties,
+		Self:           0,
+		Seq:            seq,
+		Round:          cur.Round,
+		Name:           cur.Name,
+		Phase:          cur.Phase,
+		Alive:          1,
+		HeartbeatMs:    float64(c.opts.HeartbeatInterval) / float64(time.Millisecond),
+		PeerDeadlineMs: float64(c.opts.PeerTimeout) / float64(time.Millisecond),
+		RejoinGraceMs:  float64(c.opts.RejoinGrace) / float64(time.Millisecond),
+		Wire:           c.Stats(),
 	}
 	for _, ps := range c.PeerStats() {
 		if ps.Alive {
@@ -548,9 +1038,13 @@ func (c *Coordinator) Status() Status {
 // Shutdown ends the session in order: every live worker is told there are
 // no more jobs, then the connections close.
 func (c *Coordinator) Shutdown() {
-	for w := range c.peers {
-		if c.alive[w] {
-			c.peers[w].write(fShutdown, nil)
+	c.mu.Lock()
+	peers := append([]*peer(nil), c.peers...)
+	states := append([]peerState(nil), c.state...)
+	c.mu.Unlock()
+	for w := range peers {
+		if states[w] == peerUp {
+			peers[w].write(fShutdown, nil)
 		}
 	}
 	c.Close()
@@ -560,18 +1054,39 @@ func (c *Coordinator) Shutdown() {
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	st := c.st
+	peers := append([]*peer(nil), c.peers...)
+	ret := append([]slotCounters(nil), c.retired...)
 	c.mu.Unlock()
-	for _, p := range c.peers {
-		st.BytesIn += p.bytesIn.Load()
-		st.BytesOut += p.bytesOut.Load()
-		st.Frames += p.frames.Load()
+	for i, p := range peers {
+		st.BytesIn += ret[i].bytesIn + p.bytesIn.Load()
+		st.BytesOut += ret[i].bytesOut + p.bytesOut.Load()
+		st.Frames += ret[i].frames + p.frames.Load()
+		st.CorruptFrames += ret[i].corrupt + p.corrupt.Load()
 	}
 	return st
 }
 
 // Close implements Transport.
 func (c *Coordinator) Close() error {
-	for _, p := range c.peers {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closing = true
+	timers := c.timers
+	c.timers = nil
+	peers := append([]*peer(nil), c.peers...)
+	ln := c.ln
+	c.mu.Unlock()
+	close(c.done)
+	for _, t := range timers {
+		t.Stop()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
 		p.close()
 	}
 	return nil
@@ -579,15 +1094,20 @@ func (c *Coordinator) Close() error {
 
 // Worker is party 1..n-1 of a TCP session: it registers with the
 // coordinator, receives job specs, executes its share of each round, and
-// adopts the coordinator's merged view at every barrier. It implements
-// Transport.
+// adopts the coordinator's merged view at every barrier. When its
+// connection dies and the session has a rejoin grace, it redials,
+// presents the session token, and resumes exactly where it was — the
+// dedup layers on both sides make every re-sent frame idempotent. It
+// implements Transport.
 type Worker struct {
 	opts    Options
-	p       *peer
 	codec   *Codec
 	parties int
 	self    int
-	seq     int
+
+	addr    string // coordinator address, for reconnect
+	token   string // session-resume credential from the welcome
+	graceNs int64  // rejoin window from the welcome; 0 = don't bother
 
 	// telemetry reflects the coordinator's welcome flag; offsetNs is this
 	// process's handshake-time estimate of (coordinator clock - local
@@ -597,25 +1117,37 @@ type Worker struct {
 	offsetNs  int64
 	source    func() (trace.Telemetry, bool)
 
-	// mu guards st and cur (the Status endpoint reads them from another
-	// goroutine).
-	mu  sync.Mutex
-	st  Stats
-	cur RoundMeta
+	// mu guards the connection (swapped on reconnect), counters, and the
+	// recovery bookkeeping; the Status endpoint reads them from another
+	// goroutine.
+	mu            sync.Mutex
+	p             *peer
+	st            Stats
+	cur           RoundMeta
+	seq           int
+	retired       slotCounters
+	lastAcked     int    // last merged exchange fully processed
+	lastJobSeq    uint64 // last fJobStart consumed (dedups resyncs)
+	lastResult    []byte // FinishJob payload, re-sent after a reconnect
+	lastResultJob uint64
 }
 
 // DialWorker connects to a coordinator and completes the registration
-// handshake, adopting the coordinator's payload-codec table.
+// handshake, adopting the coordinator's payload-codec table and the
+// session-resume token.
 func DialWorker(addr string, opts Options) (*Worker, error) {
 	opts = opts.withDefaults()
 	conn, err := net.DialTimeout("tcp", addr, opts.HandshakeTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing coordinator: %w", err)
 	}
+	if opts.WrapConn != nil {
+		conn = opts.WrapConn(conn)
+	}
 	p := newPeer(conn, 0, opts.PeerTimeout)
 	p.conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 	sentNs := time.Now().UnixNano()
-	if err := p.write(fHello, encodeHello()); err != nil {
+	if err := p.write(fHello, encodeHello(hello{Version: ProtocolVersion})); err != nil {
 		p.close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
@@ -649,6 +1181,7 @@ func DialWorker(addr string, opts Options) (*Worker, error) {
 		return nil, err
 	}
 	p.conn.SetDeadline(time.Time{})
+	armConn(conn)
 	p.start(opts.HeartbeatInterval)
 	// NTP-style midpoint: the coordinator stamped its clock somewhere
 	// inside our hello->welcome round trip, so the best local estimate of
@@ -657,6 +1190,7 @@ func DialWorker(addr string, opts Options) (*Worker, error) {
 	offset := wel.ClockNs - (sentNs+recvNs)/2
 	return &Worker{
 		opts: opts, p: p, codec: codec, parties: wel.Parties, self: wel.Self,
+		addr: addr, token: wel.Token, graceNs: wel.GraceNs,
 		telemetry: wel.Telemetry, offsetNs: offset,
 	}, nil
 }
@@ -675,6 +1209,25 @@ func (w *Worker) ClockOffsetNs() int64 { return w.offsetNs }
 // OffsetNs on every batch. Call before the first Exchange.
 func (w *Worker) SetTelemetrySource(fn func() (trace.Telemetry, bool)) { w.source = fn }
 
+// peer returns the current connection (swapped under mu on reconnect).
+func (w *Worker) peer() *peer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.p
+}
+
+func (w *Worker) event(e trace.TransportEvent) {
+	if w.opts.OnEvent == nil && !trace.FlightEnabled() {
+		return
+	}
+	e.At = time.Now()
+	e.Bytes = w.Stats().BytesOut
+	trace.FlightTransport(e)
+	if w.opts.OnEvent != nil {
+		w.opts.OnEvent(e)
+	}
+}
+
 // flushTelemetry ships one buffered batch if telemetry is on and there is
 // anything to ship. Send errors are dropped: the next mandatory frame on
 // the same conn surfaces the broken wire with better context.
@@ -692,7 +1245,7 @@ func (w *Worker) flushTelemetry() {
 	if err != nil {
 		return
 	}
-	_ = w.p.write(fTelemetry, body)
+	_ = w.peer().write(fTelemetry, body)
 }
 
 // Parties implements Transport.
@@ -702,22 +1255,167 @@ func (w *Worker) Parties() (int, int) { return w.parties, w.self }
 // coordinator's welcome.
 func (w *Worker) Codec() *Codec { return w.codec }
 
-// NextJob blocks for the next job spec. It returns ErrShutdown on an
-// orderly session end and *PeerLossError if the coordinator vanishes.
-func (w *Worker) NextJob() ([]byte, error) {
-	f, ok := <-w.p.inbox
-	if !ok {
-		return nil, &PeerLossError{Party: 0, Cause: w.p.readErr}
+// reconnect recycles a failed connection: retire its counters, then — if
+// the session offers a rejoin window — redial and resume with the session
+// token, backing off between attempts until the window closes. needJob
+// tells the coordinator the worker was between jobs (so the current job
+// spec must be re-delivered). Returns the original cause when rejoin is
+// not on offer or the window is exhausted; a coordinator-side refusal
+// (evicted, bad token) aborts the loop immediately.
+func (w *Worker) reconnect(cause error, needJob bool) error {
+	w.mu.Lock()
+	old := w.p
+	w.retired.retire(old)
+	token, graceNs := w.token, w.graceNs
+	lastAcked := w.lastAcked
+	lastResult, lastResultJob, lastJobSeq := w.lastResult, w.lastResultJob, w.lastJobSeq
+	w.mu.Unlock()
+	old.close()
+	var cfe *CorruptFrameError
+	if errors.As(cause, &cfe) {
+		w.event(trace.TransportEvent{Kind: trace.TransportCorrupt, Party: 0, Seq: w.curSeq()})
 	}
-	switch f.typ {
-	case fJobStart:
-		return f.body, nil
-	case fShutdown:
-		return nil, ErrShutdown
-	case fError:
-		return nil, fmt.Errorf("transport: coordinator: %s", f.body)
-	default:
-		return nil, fmt.Errorf("transport: unexpected %s frame awaiting job", f.typ)
+	if graceNs <= 0 || token == "" {
+		return cause
+	}
+	deadline := time.Now().Add(time.Duration(graceNs))
+	backoff := 25 * time.Millisecond
+	for {
+		p, permanent, err := w.dialResume(needJob, lastAcked)
+		if err == nil {
+			w.mu.Lock()
+			w.p = p
+			w.st.Reconnects++
+			w.retired.reconnects++
+			w.mu.Unlock()
+			w.event(trace.TransportEvent{Kind: trace.TransportReconnect, Party: 0, Seq: w.curSeq()})
+			if needJob && lastResult != nil && lastResultJob == lastJobSeq {
+				// The result may have died with the old connection while
+				// the coordinator still waits on it; the jobSeq prefix
+				// makes a duplicate harmless.
+				_ = p.write(fResult, encodeResult(lastResultJob, lastResult))
+			}
+			return nil
+		}
+		if permanent {
+			return err
+		}
+		if !time.Now().Add(backoff).Before(deadline) {
+			return cause
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 400*time.Millisecond {
+			backoff = 400 * time.Millisecond
+		}
+	}
+}
+
+// dialResume performs one session-resume attempt. The returned bool marks
+// permanent refusals (the coordinator evicted this party) that make
+// further attempts pointless.
+func (w *Worker) dialResume(needJob bool, lastAcked int) (*peer, bool, error) {
+	conn, err := net.DialTimeout("tcp", w.addr, w.opts.HandshakeTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if w.opts.WrapConn != nil {
+		conn = w.opts.WrapConn(conn)
+	}
+	p := newPeer(conn, 0, w.opts.PeerTimeout)
+	p.conn.SetDeadline(time.Now().Add(w.opts.HandshakeTimeout))
+	h := hello{
+		Version: ProtocolVersion, Resume: true,
+		Token: w.token, Party: w.self, LastAcked: lastAcked, NeedJob: needJob,
+	}
+	if err := p.write(fHello, encodeHello(h)); err != nil {
+		p.close()
+		return nil, false, err
+	}
+	f, err := p.read()
+	if err != nil {
+		p.close()
+		return nil, false, err
+	}
+	if f.typ == fError {
+		p.close()
+		return nil, true, fmt.Errorf("transport: coordinator refused resume: %s", f.body)
+	}
+	if f.typ != fWelcome {
+		p.close()
+		return nil, false, fmt.Errorf("transport: coordinator sent %s, want welcome", f.typ)
+	}
+	if _, err := decodeWelcome(f.body); err != nil {
+		p.close()
+		return nil, false, err
+	}
+	p.conn.SetDeadline(time.Time{})
+	armConn(conn)
+	p.start(w.opts.HeartbeatInterval)
+	return p, false, nil
+}
+
+// sendFrame writes one frame, riding out a single connection failure via
+// reconnect + retry. Both sides deduplicate, so the retry can at worst
+// deliver a frame twice, never change what the session computes.
+func (w *Worker) sendFrame(t frameType, body []byte) error {
+	p := w.peer()
+	err := p.write(t, body)
+	if err == nil {
+		return nil
+	}
+	if rerr := w.reconnect(err, false); rerr != nil {
+		return &PeerLossError{Party: 0, Cause: rerr}
+	}
+	if err := w.peer().write(t, body); err != nil {
+		return &PeerLossError{Party: 0, Cause: err}
+	}
+	return nil
+}
+
+func (w *Worker) curSeq() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// NextJob blocks for the next job spec. It returns ErrShutdown on an
+// orderly session end and *PeerLossError if the coordinator vanishes for
+// good. Duplicate job deliveries (a rejoin resync racing the broadcast)
+// are skipped by job sequence number, so a job never runs twice.
+func (w *Worker) NextJob() ([]byte, error) {
+	for {
+		p := w.peer()
+		f, ok := <-p.inbox
+		if !ok {
+			if rerr := w.reconnect(p.readErr, true); rerr != nil {
+				return nil, &PeerLossError{Party: 0, Cause: rerr}
+			}
+			continue
+		}
+		switch f.typ {
+		case fJobStart:
+			jseq, job, err := decodeJobStart(f.body)
+			if err != nil {
+				return nil, err
+			}
+			w.mu.Lock()
+			if jseq <= w.lastJobSeq {
+				w.mu.Unlock()
+				continue // duplicate resync of a job already running or done
+			}
+			w.lastJobSeq = jseq
+			w.lastResult = nil
+			w.mu.Unlock()
+			return job, nil
+		case fMerged, fAssign:
+			continue // stale resync for an exchange already completed
+		case fShutdown:
+			return nil, ErrShutdown
+		case fError:
+			return nil, fmt.Errorf("transport: coordinator: %s", f.body)
+		default:
+			return nil, fmt.Errorf("transport: unexpected %s frame awaiting job", f.typ)
+		}
 	}
 }
 
@@ -725,7 +1423,10 @@ func (w *Worker) NextJob() ([]byte, error) {
 // mid-round reassignments (a lost peer's machines, re-executed here by
 // exact replay), and block at the barrier until the coordinator's merged
 // round arrives. The merged frame's sequence number and round metadata
-// must match this party's own — the SPMD divergence check.
+// must match this party's own — the SPMD divergence check. A connection
+// failure anywhere in the round is recycled through reconnect: the
+// records are re-sent (the coordinator's merge dedups) and stale resync
+// frames are skipped by sequence number.
 func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec ExecFunc) ([]Record, error) {
 	w.mu.Lock()
 	w.seq++
@@ -737,6 +1438,12 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 		// Deterministic mid-round crash for the recovery tests: vanish
 		// without ceremony, exactly like a killed worker process.
 		os.Exit(TestDieExitCode)
+	}
+	if w.opts.TestDropConnAtSeq > 0 && seq == w.opts.TestDropConnAtSeq &&
+		(w.opts.TestDropConnAtParty == 0 || w.opts.TestDropConnAtParty == w.self) {
+		// Deterministic mid-round link failure: kill the connection under
+		// the session's feet and let the rejoin machinery recover.
+		w.peer().conn.Close()
 	}
 	// Ship the previous rounds' buffered telemetry first, so everything a
 	// party observed before this barrier is on the coordinator's side of
@@ -752,13 +1459,22 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 	if err != nil {
 		return nil, err
 	}
-	if err := w.p.write(fRecords, body); err != nil {
-		return nil, &PeerLossError{Party: 0, Cause: err}
+	if err := w.sendFrame(fRecords, body); err != nil {
+		return nil, err
 	}
 	for {
-		f, ok := <-w.p.inbox
+		p := w.peer()
+		f, ok := <-p.inbox
 		if !ok {
-			return nil, &PeerLossError{Party: 0, Cause: w.p.readErr}
+			if rerr := w.reconnect(p.readErr, false); rerr != nil {
+				return nil, &PeerLossError{Party: 0, Cause: rerr}
+			}
+			// The coordinator may never have seen this round's records;
+			// re-send them (its merge dedups if it did).
+			if err := w.sendFrame(fRecords, body); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		switch f.typ {
 		case fAssign:
@@ -766,7 +1482,11 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 			if err != nil {
 				return nil, err
 			}
-			if aseq != seq {
+			if aseq < seq {
+				continue // duplicate re-delivery for an already-merged round
+			}
+			if aseq > seq {
+				trace.FlightTrigger("transport: exchange divergence")
 				return nil, &DivergenceError{Seq: aseq, WantSeq: seq, Want: meta, Got: meta}
 			}
 			recs, err := exec(ids)
@@ -776,12 +1496,12 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 			for _, r := range recs {
 				mine[r.Machine] = true
 			}
-			body, err := encodeRecords(w.codec, seq, meta, recs)
+			rbody, err := encodeRecords(w.codec, seq, meta, recs)
 			if err != nil {
 				return nil, err
 			}
-			if err := w.p.write(fRecords, body); err != nil {
-				return nil, &PeerLossError{Party: 0, Cause: err}
+			if err := w.sendFrame(fRecords, rbody); err != nil {
+				return nil, err
 			}
 			w.mu.Lock()
 			w.st.Reassigns++
@@ -791,9 +1511,13 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 			if err != nil {
 				return nil, err
 			}
+			if mseq < seq {
+				continue // duplicate barrier from a rejoin resync race
+			}
 			if mseq != seq || mmeta != meta {
 				derr := &DivergenceError{Seq: mseq, WantSeq: seq, Want: meta, Got: mmeta}
-				w.p.write(fError, []byte(derr.Error()))
+				trace.FlightTrigger("transport: exchange divergence")
+				w.peer().write(fError, []byte(derr.Error()))
 				return nil, derr
 			}
 			for i := range recs {
@@ -803,8 +1527,11 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 			}
 			w.mu.Lock()
 			w.st.Exchanges++
+			w.lastAcked = seq
 			w.mu.Unlock()
 			return recs, nil
+		case fJobStart:
+			continue // duplicate job resync; this job is already running
 		case fShutdown:
 			return nil, ErrShutdown
 		case fError:
@@ -818,9 +1545,16 @@ func (w *Worker) Exchange(meta RoundMeta, assign [][]int, local []Record, exec E
 // FinishJob ships the worker's end-of-job result digest for the
 // coordinator's cross-check, flushing any remaining telemetry first (the
 // conn is FIFO, so the coordinator sees the telemetry before the result).
+// The result is retained so a reconnect can re-send it if it died on the
+// wire; the jobSeq prefix dedups on the coordinator.
 func (w *Worker) FinishJob(result []byte) error {
 	w.flushTelemetry()
-	return w.p.write(fResult, result)
+	w.mu.Lock()
+	jseq := w.lastJobSeq
+	w.lastResult = append([]byte(nil), result...)
+	w.lastResultJob = jseq
+	w.mu.Unlock()
+	return w.sendFrame(fResult, encodeResult(jseq, result))
 }
 
 // Status snapshots the worker's live view of the session for the -status
@@ -829,29 +1563,37 @@ func (w *Worker) Status() Status {
 	now := time.Now()
 	w.mu.Lock()
 	seq, cur := w.seq, w.cur
+	p := w.p
+	ret := w.retired
+	graceNs := w.graceNs
 	w.mu.Unlock()
 	ps := PeerStats{
-		Party:    0,
-		Alive:    true,
-		BytesIn:  w.p.bytesIn.Load(),
-		BytesOut: w.p.bytesOut.Load(),
-		Frames:   w.p.frames.Load(),
-		RTTP99:   w.p.rttP99(),
+		Party:         0,
+		Alive:         true,
+		BytesIn:       ret.bytesIn + p.bytesIn.Load(),
+		BytesOut:      ret.bytesOut + p.bytesOut.Load(),
+		Frames:        ret.frames + p.frames.Load(),
+		RTTP99:        p.rttP99(),
+		Reconnects:    ret.reconnects,
+		CorruptFrames: ret.corrupt + p.corrupt.Load(),
 	}
-	if ns := w.p.lastHeardNs.Load(); ns > 0 {
+	if ns := p.lastHeardNs.Load(); ns > 0 {
 		ps.LastHeard = time.Unix(0, ns)
 	}
 	return Status{
-		Role:    "worker",
-		Parties: w.parties,
-		Self:    w.self,
-		Seq:     seq,
-		Round:   cur.Round,
-		Name:    cur.Name,
-		Phase:   cur.Phase,
-		Alive:   2,
-		Wire:    w.Stats(),
-		Peers:   []PeerStatus{peerStatus(ps, now)},
+		Role:           "worker",
+		Parties:        w.parties,
+		Self:           w.self,
+		Seq:            seq,
+		Round:          cur.Round,
+		Name:           cur.Name,
+		Phase:          cur.Phase,
+		Alive:          2,
+		HeartbeatMs:    float64(w.opts.HeartbeatInterval) / float64(time.Millisecond),
+		PeerDeadlineMs: float64(w.opts.PeerTimeout) / float64(time.Millisecond),
+		RejoinGraceMs:  float64(graceNs) / float64(time.Millisecond),
+		Wire:           w.Stats(),
+		Peers:          []PeerStatus{peerStatus(ps, now)},
 	}
 }
 
@@ -859,15 +1601,50 @@ func (w *Worker) Status() Status {
 func (w *Worker) Stats() Stats {
 	w.mu.Lock()
 	st := w.st
+	ret := w.retired
+	p := w.p
 	w.mu.Unlock()
-	st.BytesIn = w.p.bytesIn.Load()
-	st.BytesOut = w.p.bytesOut.Load()
-	st.Frames = w.p.frames.Load()
+	st.BytesIn = ret.bytesIn + p.bytesIn.Load()
+	st.BytesOut = ret.bytesOut + p.bytesOut.Load()
+	st.Frames = ret.frames + p.frames.Load()
+	st.CorruptFrames = ret.corrupt + p.corrupt.Load()
 	return st
 }
 
 // Close implements Transport.
 func (w *Worker) Close() error {
-	w.p.close()
+	w.peer().close()
 	return nil
+}
+
+// encodeJobStart prefixes the opaque job spec with the coordinator's job
+// sequence number so duplicate deliveries (rejoin resync racing the
+// broadcast) are detectable.
+func encodeJobStart(jobSeq uint64, job []byte) []byte {
+	buf := binary.AppendUvarint(nil, jobSeq)
+	return append(buf, job...)
+}
+
+func decodeJobStart(body []byte) (uint64, []byte, error) {
+	jseq, data, err := readUvarint(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return jseq, data, nil
+}
+
+// encodeResult prefixes the result digest with the job sequence number it
+// answers, so a re-sent result from a recovered connection can never be
+// mistaken for a later job's.
+func encodeResult(jobSeq uint64, result []byte) []byte {
+	buf := binary.AppendUvarint(nil, jobSeq)
+	return append(buf, result...)
+}
+
+func decodeResult(body []byte) (uint64, []byte, error) {
+	jseq, data, err := readUvarint(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return jseq, data, nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"time"
@@ -91,53 +92,62 @@ type Transport interface {
 // Stats are cumulative transport counters. All host-level: a run's
 // deterministic model counters are identical whatever these say.
 type Stats struct {
-	BytesOut  int64 `json:"bytesOut"`  // bytes written to the wire
-	BytesIn   int64 `json:"bytesIn"`   // bytes read from the wire
-	Frames    int64 `json:"frames"`    // frames sent + received
-	Exchanges int   `json:"exchanges"` // completed Exchange calls
-	PeersLost int   `json:"peersLost"` // peers declared dead (conn error or heartbeat timeout)
-	Reassigns int   `json:"reassigns"` // machine batches re-executed after a peer loss
+	BytesOut      int64 `json:"bytesOut"`      // bytes written to the wire
+	BytesIn       int64 `json:"bytesIn"`       // bytes read from the wire
+	Frames        int64 `json:"frames"`        // frames sent + received
+	Exchanges     int   `json:"exchanges"`     // completed Exchange calls
+	PeersLost     int   `json:"peersLost"`     // peers permanently evicted (conn error or heartbeat timeout past grace)
+	Reassigns     int   `json:"reassigns"`     // machine batches re-executed after a peer loss
+	Reconnects    int   `json:"reconnects"`    // connections recycled and resumed via the rejoin handshake
+	CorruptFrames int64 `json:"corruptFrames"` // frames rejected by the CRC/length check
 }
 
 // PeerStats breaks a session's wire counters down per peer connection,
 // with the heartbeat round-trip estimate on top. Advisory, like Stats.
 type PeerStats struct {
-	Party     int           `json:"party"` // the remote party's index
-	Alive     bool          `json:"alive"`
-	BytesIn   int64         `json:"bytesIn"`
-	BytesOut  int64         `json:"bytesOut"`
-	Frames    int64         `json:"frames"`
-	RTTP99    time.Duration `json:"rttP99Ns"`  // heartbeat RTT p99 (0 until sampled)
-	LastHeard time.Time     `json:"lastHeard"` // when the last frame arrived (zero before any)
+	Party         int           `json:"party"` // the remote party's index
+	Alive         bool          `json:"alive"`
+	BytesIn       int64         `json:"bytesIn"`
+	BytesOut      int64         `json:"bytesOut"`
+	Frames        int64         `json:"frames"`
+	RTTP99        time.Duration `json:"rttP99Ns"`  // heartbeat RTT p99 (0 until sampled)
+	LastHeard     time.Time     `json:"lastHeard"` // when the last frame arrived (zero before any)
+	Reconnects    int64         `json:"reconnects"`
+	CorruptFrames int64         `json:"corruptFrames"`
 }
 
 // PeerStatus is PeerStats flattened for the live status endpoint (JSON
 // with millisecond floats instead of Duration/Time).
 type PeerStatus struct {
-	Party       int     `json:"party"`
-	Alive       bool    `json:"alive"`
-	BytesIn     int64   `json:"bytesIn"`
-	BytesOut    int64   `json:"bytesOut"`
-	Frames      int64   `json:"frames"`
-	RTTP99Ms    float64 `json:"rttP99Ms"`
-	LastHeardMs float64 `json:"lastHeardMs"` // ms since the last frame arrived, -1 before any
+	Party         int     `json:"party"`
+	Alive         bool    `json:"alive"`
+	BytesIn       int64   `json:"bytesIn"`
+	BytesOut      int64   `json:"bytesOut"`
+	Frames        int64   `json:"frames"`
+	RTTP99Ms      float64 `json:"rttP99Ms"`
+	LastHeardMs   float64 `json:"lastHeardMs"` // ms since the last frame arrived, -1 before any
+	Reconnects    int64   `json:"reconnects"`
+	CorruptFrames int64   `json:"corruptFrames"`
 }
 
 // Status is a live snapshot of one party's view of the session, shaped
 // for the -status HTTP endpoint: where the deterministic driver is
-// (exchange seq + round metadata), who is alive, and what the wire looks
-// like. All advisory.
+// (exchange seq + round metadata), who is alive, what the wire looks
+// like, and the liveness configuration in force. All advisory.
 type Status struct {
-	Role    string       `json:"role"` // "coordinator" or "worker"
-	Parties int          `json:"parties"`
-	Self    int          `json:"self"`
-	Seq     int          `json:"seq"` // exchange barriers completed or in flight
-	Round   int          `json:"round"`
-	Name    string       `json:"roundName"`
-	Phase   string       `json:"phase"`
-	Alive   int          `json:"alive"` // live parties, self included
-	Wire    Stats        `json:"wire"`
-	Peers   []PeerStatus `json:"peers"`
+	Role           string       `json:"role"` // "coordinator" or "worker"
+	Parties        int          `json:"parties"`
+	Self           int          `json:"self"`
+	Seq            int          `json:"seq"` // exchange barriers completed or in flight
+	Round          int          `json:"round"`
+	Name           string       `json:"roundName"`
+	Phase          string       `json:"phase"`
+	Alive          int          `json:"alive"` // live parties, self included
+	HeartbeatMs    float64      `json:"heartbeatMs,omitempty"`
+	PeerDeadlineMs float64      `json:"peerDeadlineMs,omitempty"`
+	RejoinGraceMs  float64      `json:"rejoinGraceMs,omitempty"`
+	Wire           Stats        `json:"wire"`
+	Peers          []PeerStatus `json:"peers"`
 }
 
 // peerStatus converts stats to endpoint shape relative to now.
@@ -145,8 +155,10 @@ func peerStatus(ps PeerStats, now time.Time) PeerStatus {
 	out := PeerStatus{
 		Party: ps.Party, Alive: ps.Alive,
 		BytesIn: ps.BytesIn, BytesOut: ps.BytesOut, Frames: ps.Frames,
-		RTTP99Ms:    float64(ps.RTTP99) / float64(time.Millisecond),
-		LastHeardMs: -1,
+		RTTP99Ms:      float64(ps.RTTP99) / float64(time.Millisecond),
+		LastHeardMs:   -1,
+		Reconnects:    ps.Reconnects,
+		CorruptFrames: ps.CorruptFrames,
 	}
 	if !ps.LastHeard.IsZero() {
 		out.LastHeardMs = float64(now.Sub(ps.LastHeard)) / float64(time.Millisecond)
@@ -184,7 +196,7 @@ func (l *Local) Exchange(meta RoundMeta, _ [][]int, local []Record, _ ExecFunc) 
 		l.codec = NewCodec()
 	}
 	if body, err := encodeRecords(l.codec, l.st.Exchanges, meta, local); err == nil {
-		l.st.BytesOut += int64(len(body)) + frameHeaderLen
+		l.st.BytesOut += int64(len(body)) + frameOverhead
 		l.st.Frames++
 	}
 	return local, nil
@@ -238,4 +250,56 @@ func (e *DivergenceError) Error() string {
 	}
 	return fmt.Sprintf("transport: round metadata diverged at exchange %d: local (round %d %q phase %q), peer (round %d %q phase %q)",
 		e.Seq, e.Want.Round, e.Want.Name, e.Want.Phase, e.Got.Round, e.Got.Name, e.Got.Phase)
+}
+
+// CorruptFrameError reports a frame rejected by the integrity check —
+// CRC32-C trailer mismatch or an impossible length word. The byte stream
+// is unrecoverable past a corrupt frame (the corrupted byte may be the
+// length itself), so the connection is recycled: the peer redials and
+// resumes via the rejoin handshake rather than resynchronizing in place.
+type CorruptFrameError struct {
+	Party  int    // remote party of the connection, when known
+	Type   byte   // announced frame type byte (possibly itself corrupt)
+	Len    int64  // announced body length
+	Reason string // what the check found
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("transport: corrupt frame from party %d (type %d, announced length %d): %s",
+		e.Party, e.Type, e.Len, e.Reason)
+}
+
+// DefaultCorruptTolerance bounds cumulative corrupt frames per peer slot
+// before the coordinator stops offering rejoin and evicts for good: a
+// link this dirty is not worth resuming.
+const DefaultCorruptTolerance = 8
+
+// BindFlags registers the shared transport-liveness flags (mpcdist,
+// mpcworker, mpcserve) and returns a closure that assembles the Options
+// after fs.Parse, validating that the heartbeat interval is shorter than
+// the peer deadline (a deadline at or under the heartbeat period would
+// declare healthy idle peers dead between pings).
+func BindFlags(fs *flag.FlagSet) func() (Options, error) {
+	hb := fs.Duration("heartbeat", 250*time.Millisecond, "transport heartbeat interval (idle peers are pinged this often)")
+	dl := fs.Duration("peer-deadline", 3*time.Second, "rolling read deadline: a peer silent this long is declared lost (must exceed -heartbeat)")
+	grace := fs.Duration("rejoin-grace", 0, "hold a lost worker's slot this long for reconnect + session rejoin (0 = evict immediately)")
+	tol := fs.Int("corrupt-tolerance", DefaultCorruptTolerance, "corrupt frames tolerated per peer before rejoin is refused and the peer evicted")
+	return func() (Options, error) {
+		if *hb <= 0 {
+			return Options{}, fmt.Errorf("transport: -heartbeat must be positive, got %s", *hb)
+		}
+		if *dl <= 0 {
+			return Options{}, fmt.Errorf("transport: -peer-deadline must be positive, got %s", *dl)
+		}
+		if *hb >= *dl {
+			return Options{}, fmt.Errorf("transport: -heartbeat (%s) must be shorter than -peer-deadline (%s)", *hb, *dl)
+		}
+		if *grace < 0 {
+			return Options{}, fmt.Errorf("transport: -rejoin-grace must not be negative, got %s", *grace)
+		}
+		if *tol < 0 {
+			return Options{}, fmt.Errorf("transport: -corrupt-tolerance must not be negative, got %d", *tol)
+		}
+		return Options{HeartbeatInterval: *hb, PeerTimeout: *dl, RejoinGrace: *grace, CorruptTolerance: *tol}, nil
+	}
 }
