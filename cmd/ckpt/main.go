@@ -1,0 +1,174 @@
+// Command ckpt inspects a durable checkpoint store (see docs/CHECKPOINT.md
+// and the -checkpoint-dir flags of mpcdist / mpcserve / mpcbench).
+//
+// Usage:
+//
+//	ckpt -dir DIR list           one line per job manifest
+//	ckpt -dir DIR verify         re-hash every manifest and blob; exit 1 on
+//	                             corruption, warn on cross-revision manifests
+//	ckpt -dir DIR prune          delete blobs referenced by no manifest
+//	ckpt -dir DIR diff J1 J2     compare two jobs' step sequences
+//	ckpt -version                print version and exit
+//
+// Job arguments accept unambiguous digest prefixes (as printed by list).
+// list and diff read only manifests; verify additionally reads every blob,
+// so it scales with store size. All subcommands are read-only except prune.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
+)
+
+func main() {
+	dir := flag.String("dir", "", "checkpoint store directory")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ckpt -dir DIR {list | verify | prune | diff JOB1 JOB2}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("ckpt"))
+		return
+	}
+	if *dir == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := checkpoint.Open(*dir)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "list":
+		cmdList(store)
+	case "verify":
+		cmdVerify(store)
+	case "prune":
+		cmdPrune(store)
+	case "diff":
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: ckpt -dir DIR diff JOB1 JOB2")
+			os.Exit(2)
+		}
+		cmdDiff(store, flag.Arg(1), flag.Arg(2))
+	default:
+		fmt.Fprintf(os.Stderr, "ckpt: unknown subcommand %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ckpt:", err)
+	os.Exit(1)
+}
+
+// cmdList prints one line per manifest. A torn manifest is reported on its
+// line rather than aborting the listing — an operator pruning a damaged
+// store needs to see the healthy jobs too.
+func cmdList(store *checkpoint.Store) {
+	jobs, err := store.Jobs()
+	if err != nil {
+		fail(err)
+	}
+	st := store.Stats()
+	fmt.Printf("store %s: %d jobs, %d blobs, %d bytes\n", store.Dir(), st.Manifests, st.Blobs, st.Bytes)
+	for _, job := range jobs {
+		m, err := store.Manifest(job)
+		if err != nil {
+			fmt.Printf("  %.12s  TORN: %v\n", job, err)
+			continue
+		}
+		last := "-"
+		if n := len(m.Steps); n > 0 {
+			s := m.Steps[n-1]
+			last = fmt.Sprintf("round %d %s/%s", s.Round, s.Name, s.Phase)
+		}
+		fmt.Printf("  %.12s  %-10s %3d steps  rev %.12s  last %s\n", job, m.Algo, len(m.Steps), m.Revision, last)
+	}
+}
+
+func cmdVerify(store *checkpoint.Store) {
+	warnings, err := store.Verify(buildinfo.Revision())
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "ckpt: warning:", w)
+	}
+	if err != nil {
+		fail(err)
+	}
+	st := store.Stats()
+	fmt.Printf("ok: %d manifests, %d blobs verified (%d warnings)\n", st.Manifests, st.Blobs, len(warnings))
+}
+
+func cmdPrune(store *checkpoint.Store) {
+	removed, freed, err := store.Prune()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pruned %d unreferenced blobs (%d bytes)\n", removed, freed)
+}
+
+// cmdDiff compares the step sequences of two jobs: where they share blob
+// addresses the rounds were bit-identical (content addressing makes this a
+// pure string comparison), so the first differing step is where two runs of
+// a supposedly-deterministic job diverged.
+func cmdDiff(store *checkpoint.Store, arg1, arg2 string) {
+	m1 := loadJob(store, arg1)
+	m2 := loadJob(store, arg2)
+	n := min(len(m1.Steps), len(m2.Steps))
+	same := 0
+	for i := 0; i < n; i++ {
+		a, b := m1.Steps[i], m2.Steps[i]
+		if a.Blob == b.Blob && a.Round == b.Round && a.Name == b.Name && a.Phase == b.Phase {
+			same++
+			continue
+		}
+		fmt.Printf("step %d diverges:\n  %.12s: round %d %s/%s blob %.12s\n  %.12s: round %d %s/%s blob %.12s\n",
+			i, m1.Job, a.Round, a.Name, a.Phase, a.Blob,
+			m2.Job, b.Round, b.Name, b.Phase, b.Blob)
+		os.Exit(1)
+	}
+	switch {
+	case len(m1.Steps) == len(m2.Steps):
+		fmt.Printf("identical: %d steps\n", same)
+	default:
+		fmt.Printf("identical prefix of %d steps; %.12s has %d steps, %.12s has %d\n",
+			same, m1.Job, len(m1.Steps), m2.Job, len(m2.Steps))
+	}
+}
+
+// loadJob resolves a digest prefix to exactly one manifest.
+func loadJob(store *checkpoint.Store, arg string) *checkpoint.Manifest {
+	jobs, err := store.Jobs()
+	if err != nil {
+		fail(err)
+	}
+	var matches []string
+	for _, job := range jobs {
+		if strings.HasPrefix(job, arg) {
+			matches = append(matches, job)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		fail(fmt.Errorf("no job matches %q", arg))
+	case 1:
+	default:
+		fail(fmt.Errorf("%q is ambiguous (%d jobs match)", arg, len(matches)))
+	}
+	m, err := store.Manifest(matches[0])
+	if err != nil {
+		fail(err)
+	}
+	return m
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"mpcdist/internal/buildinfo"
 	"mpcdist/internal/workload"
 )
 
@@ -30,7 +31,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out1 := flag.String("out1", "", "file for the first string (default stdout)")
 	out2 := flag.String("out2", "", "file for the second string (default stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("datagen"))
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var a, b string

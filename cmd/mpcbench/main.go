@@ -40,6 +40,8 @@ import (
 	"strings"
 	"time"
 
+	"mpcdist/internal/atomicio"
+	"mpcdist/internal/buildinfo"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
@@ -62,10 +64,16 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "ship worker trace events during -transport tcp runs (counters must be unaffected)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file; samples carry {algo, phase, round} labels for the Table 1 phase taxonomy, and one fixed large-distance edit case runs after the suite so every phase (partition, candidates, graph, chain) appears")
 	profilerate := flag.Int("profilerate", 0, "CPU profile sampling rate in Hz (0 = runtime default of 100); driver-side phases like partition run for microseconds and need a high rate (e.g. 10000) to accrue samples")
+	checkpointDir := flag.String("checkpoint-dir", "", "snapshot every case's rounds into this checkpoint store; the deterministic counters must still match a plain baseline, and the advisory checkpointSaves/checkpointBytes fields record the durability cost")
+	version := flag.Bool("version", false, "print version information and exit")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	transportOpts := tnet.BindFlags(flag.CommandLine)
 	chaosPlan := netchaos.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mpcbench"))
+		return
+	}
 
 	// SIGQUIT mid-suite (or MPCDIST_FLIGHT_OUT at exit) dumps the flight
 	// recorder; die() runs the finalizer so failures keep their black box.
@@ -78,7 +86,7 @@ func main() {
 	}
 	cfg := harness.BenchConfig{Seed: *seed, Eps: *eps, Faults: faultPlan(), MaxRetries: *maxRetries,
 		Transport: *transport, Workers: *workers, Telemetry: *telemetry,
-		TransportOpts: topts, NetChaos: chaosPlan()}
+		TransportOpts: topts, NetChaos: chaosPlan(), CheckpointDir: *checkpointDir}
 	if *telemetry && *transport != "tcp" {
 		fmt.Fprintln(os.Stderr, "mpcbench: -telemetry requires -transport tcp")
 		os.Exit(2)
@@ -198,7 +206,9 @@ func writeBench(path string, file harness.BenchFile) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	// Atomic: a crash (or full disk) mid-write must not replace a previous
+	// baseline with a truncated JSON that -compare would reject.
+	return atomicio.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func readBench(path string) (harness.BenchFile, error) {

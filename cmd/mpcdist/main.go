@@ -28,6 +28,8 @@ import (
 
 	"mpcdist/internal/approx"
 	"mpcdist/internal/baseline"
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/core"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/editdist"
@@ -59,10 +61,18 @@ func main() {
 	workers := flag.Int("workers", 2, "worker processes for -transport tcp")
 	statusAddr := flag.String("status", "", "serve a live JSON session snapshot at this address (host:port; -transport tcp only)")
 	soak := flag.Int("soak", 0, "replay the job across this many fresh tcp sessions under rotating -netchaos-* seeds, asserting bit-identical results every time (requires an MPC algorithm)")
+	checkpointDir := flag.String("checkpoint-dir", "", "snapshot every completed MPC round into this checkpoint store (see docs/CHECKPOINT.md)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "persist checkpoints every N rounds (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "fast-forward rounds already checkpointed for this job spec in -checkpoint-dir")
+	version := flag.Bool("version", false, "print version information and exit")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	transportOpts := transport.BindFlags(flag.CommandLine)
 	chaosPlan := netchaos.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mpcdist"))
+		return
+	}
 
 	// Arm the always-on flight recorder: SIGQUIT and the automatic
 	// triggers (retry exhaustion, peer loss) dump the retained window, and
@@ -103,10 +113,22 @@ func main() {
 	if *statusAddr != "" && *transportName != "tcp" {
 		die("-status requires -transport tcp")
 	}
+	if *checkpointDir != "" {
+		if _, ok := distAlgos[*algo]; !ok {
+			die("-checkpoint-dir requires an MPC algorithm (mpc, hss, ulam-mpc), not %q", *algo)
+		}
+		if *soak > 0 {
+			die("-checkpoint-dir is incompatible with -soak (soak sessions would share one job's store)")
+		}
+	}
+	if *resume && *checkpointDir == "" {
+		die("-resume requires -checkpoint-dir")
+	}
 	if chaos != nil {
 		fmt.Fprintf(os.Stderr, "mpcdist: link chaos active: %s\n", chaos)
 	}
 	soakN, sessTransport, sessChaos = *soak, topts, chaos
+	ckptDir, ckptEvery, ckptResume = *checkpointDir, *checkpointEvery, *resume
 
 	a := input(*aStr, *aFile)
 	b := input(*bStr, *bFile)
@@ -181,14 +203,14 @@ func main() {
 		fmt.Print(editdist.FormatAlignment(a, b, script, 72))
 	case "mpc":
 		res, err := runMPC(dist.AlgoEditMPC, p, a, b, nil, nil, *transportName, *workers, *traceOut, *statusAddr,
-			func() (core.Result, error) { return core.EditMPC(a, b, p) })
+			func(p core.Params) (core.Result, error) { return core.EditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
 			verifyEdit(a, b, res.Value)
 		}
 	case "hss":
 		res, err := runMPC(dist.AlgoEditHSS, p, a, b, nil, nil, *transportName, *workers, *traceOut, *statusAddr,
-			func() (core.Result, error) { return baseline.HSSEditMPC(a, b, p) })
+			func(p core.Params) (core.Result, error) { return baseline.HSSEditMPC(a, b, p) })
 		report(res, err, *verbose)
 		if *verify {
 			verifyEdit(a, b, res.Value)
@@ -199,7 +221,7 @@ func main() {
 	case "ulam-mpc":
 		ia, ib := distinctInts(a), distinctInts(b)
 		res, err := runMPC(dist.AlgoUlamMPC, p, nil, nil, ia, ib, *transportName, *workers, *traceOut, *statusAddr,
-			func() (core.Result, error) { return core.UlamMPC(ia, ib, p) })
+			func(p core.Params) (core.Result, error) { return core.UlamMPC(ia, ib, p) })
 		report(res, err, *verbose)
 		if *verify {
 			exact := ulam.Exact(ia, ib, nil)
@@ -225,9 +247,40 @@ func main() {
 // written after the run — and statusAddr serves a live JSON snapshot of
 // the session over HTTP while the job runs.
 func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName string, workers int,
-	traceOut, statusAddr string, local func() (core.Result, error)) (core.Result, error) {
+	traceOut, statusAddr string, local func(core.Params) (core.Result, error)) (core.Result, error) {
 	if transportName != "tcp" {
-		return local()
+		if ckptDir == "" {
+			return local(p)
+		}
+		// In-process run with durability: same store and resume semantics as
+		// tcp, no transport — the job spec digest keys the manifest either way.
+		store, err := checkpoint.Open(ckptDir)
+		if err != nil {
+			return core.Result{}, err
+		}
+		job := dist.FromParams(algo, p)
+		job.S, job.T, job.P, job.Q = s, t, pa, qa
+		digest, err := job.SpecDigest()
+		if err != nil {
+			return core.Result{}, err
+		}
+		saver, err := checkpoint.NewSaver(store, digest, algo, checkpoint.SaverOptions{
+			Every:    ckptEvery,
+			Resume:   ckptResume,
+			Revision: buildinfo.Revision(),
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+		p.Checkpointer = saver
+		res, err := local(p)
+		if err == nil {
+			if ferr := saver.Flush(); ferr != nil {
+				return res, ferr
+			}
+		}
+		ckptSummary(saver.Status())
+		return res, err
 	}
 	job := dist.FromParams(algo, p)
 	job.S, job.T, job.P, job.Q = s, t, pa, qa
@@ -246,21 +299,33 @@ func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName
 			return core.Result{}, err
 		}
 		fmt.Fprintf(os.Stderr, "mpcdist: soak ok: %d iterations, every session bit-identical to the local run\n", soakN)
-		return local()
+		return local(p)
+	}
+	var store *checkpoint.Store
+	if ckptDir != "" {
+		var err error
+		if store, err = checkpoint.Open(ckptDir); err != nil {
+			return core.Result{}, err
+		}
 	}
 	sess, err := dist.NewSession(dist.SessionOptions{
-		Workers:   workers,
-		Observer:  p.Observer,
-		Telemetry: traceOut != "",
-		Transport: sessTransport,
-		NetChaos:  sessChaos,
+		Workers:          workers,
+		Observer:         p.Observer,
+		Telemetry:        traceOut != "",
+		Transport:        sessTransport,
+		NetChaos:         sessChaos,
+		Checkpoint:       store,
+		CheckpointEvery:  ckptEvery,
+		CheckpointResume: ckptResume,
 	})
 	if err != nil {
 		return core.Result{}, err
 	}
 	defer sess.Close()
 	if statusAddr != "" {
-		srv, serr := dist.StartStatus(statusAddr, func() any { return sess.Status() })
+		srv, serr := dist.StartStatus(statusAddr, func() any {
+			return dist.StatusWithCheckpoint{Status: sess.Status(), Checkpoint: sess.CheckpointStatus()}
+		})
 		if serr != nil {
 			return core.Result{}, serr
 		}
@@ -271,6 +336,9 @@ func runMPC(algo string, p core.Params, s, t []byte, pa, qa []int, transportName
 	st := sess.Stats()
 	fmt.Fprintf(os.Stderr, "mpcdist: transport=tcp workers=%d/%d wire: out=%dB in=%dB frames=%d exchanges=%d peersLost=%d reassigns=%d reconnects=%d corruptFrames=%d\n",
 		sess.Alive(), sess.Workers(), st.BytesOut, st.BytesIn, st.Frames, st.Exchanges, st.PeersLost, st.Reassigns, st.Reconnects, st.CorruptFrames)
+	if cs := sess.CheckpointStatus(); cs != nil {
+		ckptSummary(*cs)
+	}
 	if traceOut != "" {
 		// Write the trace even after a failed run — the lanes up to the
 		// failure are exactly what one wants to look at.
@@ -300,12 +368,23 @@ var (
 var flightDump = func() {}
 
 // Session knobs bound from flags in main, consumed by runMPC: the soak
-// iteration count, the transport liveness options, and the link-chaos plan.
+// iteration count, the transport liveness options, the link-chaos plan,
+// and the checkpoint store configuration.
 var (
 	soakN         int
 	sessTransport transport.Options
 	sessChaos     *netchaos.Plan
+	ckptDir       string
+	ckptEvery     int
+	ckptResume    bool
 )
+
+// ckptSummary prints the run's checkpoint progress. The "mpcdist:" prefix
+// keeps the line out of deterministic output comparisons (CI filters it).
+func ckptSummary(cs checkpoint.Status) {
+	fmt.Fprintf(os.Stderr, "mpcdist: checkpoint: job=%.12s steps=%d resumed=%d saved=%d lastRound=%d store: blobs=%d bytes=%d\n",
+		cs.Job, cs.Steps, cs.Resumed, cs.Saves, cs.LastRound, cs.StoreBlobs, cs.StoreBytes)
+}
 
 func die(format string, args ...any) {
 	flushTrace()

@@ -58,6 +58,8 @@ import (
 	"time"
 
 	"mpcdist"
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/server"
@@ -100,9 +102,17 @@ func main() {
 	transportName := flag.String("transport", "local", "MPC execution transport: local (in-process) or tcp (worker cluster)")
 	workers := flag.Int("workers", 3, "worker processes for -transport tcp")
 	statusAddr := flag.String("status", "", "serve live transport.Status JSON at this address (host:port; -transport tcp only)")
+	checkpointDir := flag.String("checkpoint-dir", "", "durable checkpoint store for batch MPC queries (empty = off)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "persist checkpoints every N completed rounds")
+	version := flag.Bool("version", false, "print version and exit")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	transportOpts := transport.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("mpcserve"))
+		return
+	}
 
 	// Arm the always-on flight recorder: SIGQUIT dumps it, degraded
 	// fallback and MPC retry exhaustion trigger automatic dumps, and
@@ -127,11 +137,38 @@ func main() {
 		log.Fatalf("mpcserve: %v", terr)
 	}
 
+	// The checkpoint store is shared between the two execution paths: batch
+	// queries on the local transport checkpoint through server.Config, and
+	// tcp sessions checkpoint at the coordinator through SessionOptions.
+	// Either way a restarted mpcserve resumes completed rounds instead of
+	// recomputing them.
+	var ckptStore *checkpoint.Store
+	if *checkpointDir != "" {
+		var err error
+		ckptStore, err = checkpoint.Open(*checkpointDir)
+		if err != nil {
+			log.Fatalf("mpcserve: %v", err)
+		}
+		log.Printf("mpcserve: checkpointing batch MPC queries to %s (every %d rounds)", *checkpointDir, *checkpointEvery)
+	}
+	var srv *server.Server // assigned below; captured by the flush hook
+
 	var distRunner server.DistRunner
 	switch *transportName {
 	case "local":
 	case "tcp":
-		sess, err := dist.NewSession(dist.SessionOptions{Workers: *workers, Transport: topts})
+		sess, err := dist.NewSession(dist.SessionOptions{
+			Workers:          *workers,
+			Transport:        topts,
+			Checkpoint:       ckptStore,
+			CheckpointEvery:  *checkpointEvery,
+			CheckpointResume: true,
+			OnCheckpointFlush: func(steps int, bytes int64) {
+				if srv != nil {
+					srv.Metrics().ObserveCheckpointFlush(steps, bytes)
+				}
+			},
+		})
 		if err != nil {
 			log.Fatalf("mpcserve: starting worker cluster: %v", err)
 		}
@@ -157,20 +194,22 @@ func main() {
 		log.Printf("mpcserve: status endpoint at http://%s/status", statusSrv.Addr)
 	}
 
-	srv := server.New(server.Config{
-		PoolSize:       *pool,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		MaxInputLen:    *maxInput,
-		MaxBatch:       *maxBatch,
-		Logger:         logger,
-		DegradeReserve: *degrade,
-		ShedQueue:      *shedQueue,
-		ShedWait:       *shedWait,
-		RetryAfter:     *retryAfter,
-		Faults:         faultPlan(),
-		MaxRetries:     *maxRetries,
-		Dist:           distRunner,
+	srv = server.New(server.Config{
+		PoolSize:        *pool,
+		CacheSize:       *cache,
+		RequestTimeout:  *timeout,
+		MaxInputLen:     *maxInput,
+		MaxBatch:        *maxBatch,
+		Logger:          logger,
+		DegradeReserve:  *degrade,
+		ShedQueue:       *shedQueue,
+		ShedWait:        *shedWait,
+		RetryAfter:      *retryAfter,
+		Faults:          faultPlan(),
+		MaxRetries:      *maxRetries,
+		Dist:            distRunner,
+		Checkpoint:      ckptStore,
+		CheckpointEvery: *checkpointEvery,
 	})
 	if p := faultPlan(); p != nil {
 		log.Printf("mpcserve: fault injection active: %s", p)

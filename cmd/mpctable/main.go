@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 
+	"mpcdist/internal/buildinfo"
 	"mpcdist/internal/core"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/harness"
@@ -42,8 +43,14 @@ func main() {
 	small := flag.Bool("small", false, "use smaller sizes (faster)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all MPC rounds to this file")
 	maxRetries := flag.Int("max-retries", 0, "fault-recovery budget per machine-round/message (0 = default)")
+	version := flag.Bool("version", false, "print version and exit")
 	faultPlan := fault.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("mpctable"))
+		return
+	}
 
 	// SIGQUIT mid-sweep (or MPCDIST_FLIGHT_OUT at exit) dumps the flight
 	// recorder's retained window of recent rounds; fail() runs the

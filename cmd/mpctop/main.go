@@ -33,9 +33,10 @@ import (
 	"strings"
 	"time"
 
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/server"
 	"mpcdist/internal/trace"
-	"mpcdist/internal/transport"
 )
 
 func main() {
@@ -43,7 +44,13 @@ func main() {
 	metricsURL := flag.String("metrics", "", "base URL of an mpcserve /metrics endpoint")
 	interval := flag.Duration("interval", time.Second, "poll interval")
 	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("mpctop"))
+		return
+	}
 
 	var statuses []string
 	for _, s := range strings.Split(*statusList, ",") {
@@ -78,11 +85,13 @@ func main() {
 
 // statusSample is one -status endpoint's poll result. Flight is nil when
 // the endpoint predates the recorder or the fetch failed (the dashboard
-// degrades to the transport view alone).
+// degrades to the transport view alone). Status decodes as the superset
+// shape: coordinators running with -checkpoint-dir attach a "checkpoint"
+// object, workers and plain sessions simply leave it nil.
 type statusSample struct {
 	URL    string
 	Err    error
-	Status transport.Status
+	Status dist.StatusWithCheckpoint
 	Flight *trace.FlightStats
 }
 
@@ -188,6 +197,10 @@ func renderStatus(w io.Writer, s statusSample) {
 		bytesStr(st.Wire.BytesOut), bytesStr(st.Wire.BytesIn),
 		st.Wire.Frames, st.Wire.Exchanges, st.Wire.PeersLost, st.Wire.Reassigns,
 		st.Wire.Reconnects, st.Wire.CorruptFrames)
+	if c := st.Checkpoint; c != nil {
+		fmt.Fprintf(w, "  checkpoint: job=%.12s steps=%d (resumed %d, saved %d) last=round %d %s — store %d blobs %s\n",
+			c.Job, c.Steps, c.Resumed, c.Saves, c.LastRound, c.LastName, c.StoreBlobs, bytesStr(c.StoreBytes))
+	}
 	if f := s.Flight; f != nil && f.Enabled {
 		fmt.Fprintf(w, "  flight: rounds p50=%.2fms p95=%.2fms p99=%.2fms (window %d) — retained %d rounds, %d spans, %d faults, %d transport; %d events, %d lanes\n",
 			f.Latency.P50Ms, f.Latency.P95Ms, f.Latency.P99Ms, f.Latency.Window,
@@ -226,6 +239,10 @@ func renderMetrics(w io.Writer, m metricsSample) {
 		fmt.Fprintf(w, "  cluster: alive=%d/%d wire out=%s in=%s peersLost=%d reassigns=%d reconnects=%d corrupt=%d\n",
 			tr.Alive, tr.Workers+1, bytesStr(tr.Wire.BytesOut), bytesStr(tr.Wire.BytesIn),
 			tr.Wire.PeersLost, tr.Wire.Reassigns, tr.Wire.Reconnects, tr.Wire.CorruptFrames)
+	}
+	if c := sn.Checkpoint; c != nil {
+		fmt.Fprintf(w, "  checkpoint: saved=%d resumed=%d written=%s — store %d blobs %s\n",
+			c.Saves, c.ResumedSteps, bytesStr(c.BytesWritten), c.StoreBlobs, bytesStr(c.StoreBytes))
 	}
 	if len(sn.Algorithms) > 0 {
 		names := make([]string, 0, len(sn.Algorithms))

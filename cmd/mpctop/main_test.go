@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"mpcdist/internal/checkpoint"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/server"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
@@ -19,16 +21,23 @@ func sampleFrame() frame {
 		Interval: time.Second,
 		Statuses: []statusSample{{
 			URL: "http://c:8081",
-			Status: transport.Status{
-				Role: "coordinator", Parties: 4, Self: 0,
-				Seq: 47, Round: 12, Name: "edit/graph", Phase: "graph", Alive: 4,
-				RejoinGraceMs: 2000,
-				Wire: transport.Stats{BytesOut: 3 << 20, BytesIn: 5 << 20, Frames: 321, Exchanges: 8,
-					Reconnects: 2, CorruptFrames: 3},
-				Peers: []transport.PeerStatus{
-					{Party: 1, Alive: true, BytesIn: 1 << 20, BytesOut: 2 << 20, Frames: 100, RTTP99Ms: 0.42, LastHeardMs: 12,
+			Status: dist.StatusWithCheckpoint{
+				Status: transport.Status{
+					Role: "coordinator", Parties: 4, Self: 0,
+					Seq: 47, Round: 12, Name: "edit/graph", Phase: "graph", Alive: 4,
+					RejoinGraceMs: 2000,
+					Wire: transport.Stats{BytesOut: 3 << 20, BytesIn: 5 << 20, Frames: 321, Exchanges: 8,
 						Reconnects: 2, CorruptFrames: 3},
-					{Party: 2, Alive: false, LastHeardMs: -1},
+					Peers: []transport.PeerStatus{
+						{Party: 1, Alive: true, BytesIn: 1 << 20, BytesOut: 2 << 20, Frames: 100, RTTP99Ms: 0.42, LastHeardMs: 12,
+							Reconnects: 2, CorruptFrames: 3},
+						{Party: 2, Alive: false, LastHeardMs: -1},
+					},
+				},
+				Checkpoint: &checkpoint.Status{
+					Job: "2313f21b16da99aa", Steps: 14, Resumed: 9, Saves: 5,
+					LastRound: 12, LastName: "edit/graph",
+					BytesWritten: 64 << 10, StoreBytes: 1 << 20, StoreBlobs: 14,
 				},
 			},
 			Flight: &trace.FlightStats{
@@ -52,6 +61,8 @@ func sampleFrame() frame {
 				},
 				Transport: &server.TransportJSON{Workers: 3, Alive: 4,
 					Wire: transport.Stats{BytesOut: 1 << 20, BytesIn: 2 << 20, Reassigns: 1, Reconnects: 4}},
+				Checkpoint: &server.CheckpointSnap{Saves: 21, ResumedSteps: 7, BytesWritten: 128 << 10,
+					StoreBlobs: 21, StoreBytes: 2 << 20},
 			},
 		},
 	}
@@ -80,6 +91,8 @@ func TestRenderFrame(t *testing.T) {
 		"ulam-mpc",
 		"4500000", // party 1 attributed ops
 		"9.10ms",  // party 2 queue wait through msStr's sub-10ms branch
+		"checkpoint: job=2313f21b16da steps=14 (resumed 9, saved 5) last=round 12 edit/graph",
+		"checkpoint: saved=21 resumed=7 written=128.0KB", // server-side checkpoint line
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered frame missing %q\n---\n%s", want, out)
@@ -165,6 +178,60 @@ func TestPollGarbledPayload(t *testing.T) {
 	render(&sb, fr)
 	if !strings.Contains(sb.String(), "unreachable:") {
 		t.Errorf("garbled endpoint not rendered as unreachable:\n%s", sb.String())
+	}
+}
+
+// TestPollCheckpointStatus covers the coordinator-with-checkpoint shape:
+// a /status body carrying the optional "checkpoint" object decodes into the
+// sample, while TestPoll above pins that worker bodies without it still do.
+func TestPollCheckpointStatus(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"role":"coordinator","parties":3,"self":0,"seq":4,"round":2,"alive":3,"wire":{},"peers":[],` +
+			`"checkpoint":{"job":"deadbeefcafe0123","steps":2,"resumedSteps":1,"savedSteps":1,"lastRound":1,"lastName":"ulam/chain","bytesWritten":512,"storeBytes":1024,"storeBlobs":2}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	fr := poll(&http.Client{Timeout: time.Second}, []string{ts.URL}, "")
+	s := fr.Statuses[0]
+	if s.Err != nil {
+		t.Fatalf("poll: %v", s.Err)
+	}
+	c := s.Status.Checkpoint
+	if c == nil || c.Steps != 2 || c.Resumed != 1 || c.LastName != "ulam/chain" {
+		t.Fatalf("checkpoint = %+v", c)
+	}
+	var sb strings.Builder
+	render(&sb, fr)
+	if !strings.Contains(sb.String(), "checkpoint: job=deadbeefcafe steps=2") {
+		t.Errorf("checkpoint line missing:\n%s", sb.String())
+	}
+}
+
+// TestPollCheckpointGarbled is the strict-decode regression for the new
+// checkpoint-bearing shape: a status body whose checkpoint object is
+// followed by trailing garbage must surface as a payloadError, not render
+// a healthy checkpoint line from the parseable prefix.
+func TestPollCheckpointGarbled(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"role":"coordinator","parties":3,"checkpoint":{"job":"deadbeef","steps":2}}{"trailing":`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	fr := poll(&http.Client{Timeout: time.Second}, []string{ts.URL}, "")
+	s := fr.Statuses[0]
+	var pe *payloadError
+	if !errors.As(s.Err, &pe) {
+		t.Fatalf("err = %v (%T), want *payloadError", s.Err, s.Err)
+	}
+	var sb strings.Builder
+	render(&sb, fr)
+	out := sb.String()
+	if !strings.Contains(out, "unreachable:") || strings.Contains(out, "checkpoint: job=") {
+		t.Errorf("garbled checkpoint status must render unreachable, no checkpoint line:\n%s", out)
 	}
 }
 

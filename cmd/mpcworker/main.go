@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"mpcdist/internal/buildinfo"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/netchaos"
 	"mpcdist/internal/traceio"
@@ -31,7 +32,12 @@ func main() {
 	statusAddr := flag.String("status", "", "serve a live JSON worker snapshot at this address (host:port)")
 	transportOpts := transport.BindFlags(flag.CommandLine)
 	chaosPlan := netchaos.BindFlags(flag.CommandLine)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mpcworker"))
+		return
+	}
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "mpcworker: -addr is required")
 		flag.Usage()

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"mpcdist/internal/buildinfo"
 )
 
 type event struct {
@@ -43,7 +45,12 @@ type traceFile struct {
 
 func main() {
 	minProcs := flag.Int("min-procs", 0, "fail unless at least this many named process lanes exist")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("tracecheck"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-procs N] trace.json")
 		os.Exit(2)

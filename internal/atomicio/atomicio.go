@@ -1,0 +1,73 @@
+// Package atomicio writes files atomically: content goes to a temporary
+// file in the destination's directory, is fsynced, and is renamed over the
+// target, so a crash at any point leaves either the old file or the new
+// one — never a torn mix. The checkpoint store's manifests, the trace
+// exporters, and mpcbench's BENCH_*.json all write through here; for all
+// of them a half-written file is worse than a missing one (a torn
+// checkpoint manifest would block resume, a truncated trace renders as an
+// empty timeline, a partial bench file parses as a baseline with missing
+// cases).
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory (rename is only atomic within a filesystem)
+// and removed on any failure.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return writeTo(path, perm, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// WriteTo atomically replaces path with src's export (the io.WriterTo
+// shape the trace exporters implement).
+func WriteTo(path string, src io.WriterTo, perm os.FileMode) error {
+	return writeTo(path, perm, func(f *os.File) error {
+		_, err := src.WriteTo(f)
+		return err
+	})
+}
+
+// writeTo runs the temp-write-sync-rename sequence, wrapping every failing
+// step with its name and the destination path.
+func writeTo(path string, perm os.FileMode, write func(*os.File) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %s %s: %w", step, path, err)
+	}
+	if err := write(f); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail("chmod", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return nil
+}

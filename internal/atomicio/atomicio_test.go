@@ -1,0 +1,72 @@
+package atomicio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("after replace content = %q, want v2", got)
+	}
+	// No temp droppings.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries, want 1: %v", len(ents), ents)
+	}
+}
+
+func TestWriteToUsesWriterTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	src := bytes.NewBufferString("exported")
+	if err := WriteTo(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "exported" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+type errWriterTo struct{}
+
+func (errWriterTo) WriteTo(io.Writer) (int64, error) { return 0, os.ErrInvalid }
+
+func TestFailedWriteLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteTo(path, errWriterTo{}, 0o644)
+	if err == nil {
+		t.Fatal("want error from failing WriterTo")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the path", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}

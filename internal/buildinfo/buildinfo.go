@@ -1,0 +1,76 @@
+// Package buildinfo exposes the binary's own provenance — module version,
+// VCS revision, and Go toolchain — read once from the build metadata the
+// Go linker embeds (runtime/debug.ReadBuildInfo). Every command's
+// -version flag, the mpcserve ops listener's /version endpoint, and the
+// checkpoint store's manifests (which record the writing revision so
+// `ckpt verify` can flag cross-version resumes) all report through here,
+// so the same binary can never describe itself two ways.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the binary's build provenance. Fields degrade to "unknown" /
+// "devel" when the metadata is absent (e.g. test binaries, or builds
+// outside a VCS checkout) — absence is information too, and `ckpt verify`
+// treats unknown revisions as unverifiable rather than matching.
+type Info struct {
+	Version   string `json:"version"`   // module version ("devel" outside a tagged build)
+	Revision  string `json:"revision"`  // VCS commit hash ("unknown" outside a checkout)
+	Time      string `json:"time"`      // VCS commit time (RFC3339), "" when unknown
+	Modified  bool   `json:"modified"`  // VCS checkout had local modifications
+	GoVersion string `json:"goVersion"` // toolchain that built the binary
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the process's build provenance, computed once.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "devel", Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			info.Version = v
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					info.Revision = s.Value
+				}
+			case "vcs.time":
+				info.Time = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	})
+	return info
+}
+
+// Revision returns the VCS revision ("unknown" when absent). This is what
+// checkpoint manifests record.
+func Revision() string { return Get().Revision }
+
+// String renders the one-line form every command's -version flag prints.
+func String(name string) string {
+	i := Get()
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (revision %s, %s)", name, i.Version, rev, i.GoVersion)
+}

@@ -1,0 +1,352 @@
+// Package checkpoint is the durable round-snapshot store behind
+// mpc.Checkpointer: after each completed MPC round the merged post-shuffle
+// record set and the round's measured stats are serialized (with the
+// transport payload codec) into a content-addressed blob store, and a
+// small per-job manifest records the step sequence. A killed coordinator
+// — or a restarted mpcserve — reopens the store, fast-forwards the
+// completed prefix, and continues the job bit-identically (the model keeps
+// all inter-round state in the shuffled records, and every random stream
+// is a pure function of (seed, round, machine), so nothing else needs
+// saving).
+//
+// Layout under the store directory:
+//
+//	blobs/<sha256 hex>      one blob per step (content-addressed, deduped)
+//	manifests/<job>.json    one manifest per job-spec digest
+//
+// Both blob and manifest writes go through internal/atomicio (temp file +
+// fsync + rename), so a crash at any point leaves either the previous
+// manifest or the new one — never a torn file. Torn or tampered state is
+// still detected defensively: manifests carry a checksum and blobs are
+// re-hashed on read, surfacing *TornManifestError / *CorruptBlobError
+// instead of garbage.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mpcdist/internal/atomicio"
+)
+
+// ManifestVersion is the manifest schema version this package writes; a
+// manifest with any other version is rejected as torn (future versions
+// must migrate explicitly, not half-parse).
+const ManifestVersion = 1
+
+// Manifest is the per-job index of a checkpoint store: the durable step
+// sequence in order, plus enough provenance to refuse unsafe resumes.
+type Manifest struct {
+	Version int    `json:"version"`
+	Job     string `json:"job"`  // job-spec digest (hex), the manifest's key
+	Algo    string `json:"algo"` // algorithm name, for ckpt list and sanity checks
+	// Revision is the VCS revision of the binary that wrote the manifest;
+	// `ckpt verify` warns when it differs from the verifying binary's, since
+	// a cross-version resume is only sound if the round structure is
+	// unchanged.
+	Revision string         `json:"revision"`
+	Steps    []ManifestStep `json:"steps"`
+	Checksum string         `json:"checksum"` // sha256 of the manifest with this field empty
+}
+
+// ManifestStep locates one completed round's blob.
+type ManifestStep struct {
+	Step  int    `json:"step"`
+	Round int    `json:"round"`
+	Name  string `json:"name"`
+	Phase string `json:"phase"`
+	Blob  string `json:"blob"` // sha256 hex of the step blob
+}
+
+// TornManifestError reports a manifest that cannot be trusted: unreadable
+// JSON, a checksum mismatch, or an unknown schema version. The store never
+// writes one (writes are atomic); seeing it means a crashed foreign
+// writer, manual tampering, or disk corruption.
+type TornManifestError struct {
+	Path   string
+	Reason string
+}
+
+func (e *TornManifestError) Error() string {
+	return fmt.Sprintf("checkpoint: torn manifest %s: %s", e.Path, e.Reason)
+}
+
+// CorruptBlobError reports a blob whose content no longer matches its
+// address.
+type CorruptBlobError struct {
+	Sum    string
+	Reason string
+}
+
+func (e *CorruptBlobError) Error() string {
+	return fmt.Sprintf("checkpoint: corrupt blob %s: %s", e.Sum, e.Reason)
+}
+
+// Store is a checkpoint directory. Safe for concurrent use by multiple
+// savers (blob writes are content-addressed and atomic; manifests are
+// keyed by job digest, and two writers of the same deterministic job write
+// identical manifests).
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{blobDir, manifestDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("checkpoint: open store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+const (
+	blobDir     = "blobs"
+	manifestDir = "manifests"
+)
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) blobPath(sum string) string {
+	return filepath.Join(s.dir, blobDir, sum)
+}
+
+func (s *Store) manifestPath(job string) string {
+	return filepath.Join(s.dir, manifestDir, job+".json")
+}
+
+// PutBlob stores data under its own sha256 address, returning the address
+// and the bytes actually written (0 when the blob already existed — equal
+// content dedupes for free).
+func (s *Store) PutBlob(data []byte) (string, int64, error) {
+	h := sha256.Sum256(data)
+	sum := hex.EncodeToString(h[:])
+	path := s.blobPath(sum)
+	if _, err := os.Stat(path); err == nil {
+		return sum, 0, nil
+	}
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		return "", 0, fmt.Errorf("checkpoint: put blob: %w", err)
+	}
+	return sum, int64(len(data)), nil
+}
+
+// Blob returns the content stored at sum, re-hashing it so corruption
+// surfaces as a typed error instead of a garbage decode.
+func (s *Store) Blob(sum string) ([]byte, error) {
+	data, err := os.ReadFile(s.blobPath(sum))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &CorruptBlobError{Sum: sum, Reason: "missing"}
+		}
+		return nil, fmt.Errorf("checkpoint: read blob %s: %w", sum, err)
+	}
+	h := sha256.Sum256(data)
+	if got := hex.EncodeToString(h[:]); got != sum {
+		return nil, &CorruptBlobError{Sum: sum, Reason: "content hashes to " + got}
+	}
+	return data, nil
+}
+
+// manifestChecksum is the sha256 of the manifest's canonical JSON with the
+// Checksum field empty.
+func manifestChecksum(m *Manifest) (string, error) {
+	mm := *m
+	mm.Checksum = ""
+	buf, err := json.Marshal(mm)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(buf)
+	return hex.EncodeToString(h[:]), nil
+}
+
+// WriteManifest atomically replaces the job's manifest, stamping the
+// schema version and checksum.
+func (s *Store) WriteManifest(m *Manifest) error {
+	if m.Job == "" {
+		return fmt.Errorf("checkpoint: manifest without a job digest")
+	}
+	m.Version = ManifestVersion
+	sum, err := manifestChecksum(m)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding manifest: %w", err)
+	}
+	m.Checksum = sum
+	buf, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding manifest: %w", err)
+	}
+	if err := atomicio.WriteFile(s.manifestPath(m.Job), append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Manifest loads and validates the job's manifest. A missing manifest
+// returns an error wrapping os.ErrNotExist (resume treats it as "start
+// fresh"); anything unparseable or failing its checksum returns
+// *TornManifestError.
+func (s *Store) Manifest(job string) (*Manifest, error) {
+	path := s.manifestPath(job)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint: no manifest for job %s: %w", job, os.ErrNotExist)
+		}
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, &TornManifestError{Path: path, Reason: err.Error()}
+	}
+	if m.Version != ManifestVersion {
+		return nil, &TornManifestError{Path: path, Reason: fmt.Sprintf("schema version %d, want %d", m.Version, ManifestVersion)}
+	}
+	want, err := manifestChecksum(&m)
+	if err != nil {
+		return nil, &TornManifestError{Path: path, Reason: err.Error()}
+	}
+	if m.Checksum != want {
+		return nil, &TornManifestError{Path: path, Reason: "checksum mismatch"}
+	}
+	if m.Job != job {
+		return nil, &TornManifestError{Path: path, Reason: fmt.Sprintf("names job %s", m.Job)}
+	}
+	for i, st := range m.Steps {
+		if st.Step != i {
+			return nil, &TornManifestError{Path: path, Reason: fmt.Sprintf("step %d at index %d (steps must be a contiguous prefix)", st.Step, i)}
+		}
+	}
+	return &m, nil
+}
+
+// Jobs lists the job digests with a manifest in the store, sorted.
+func (s *Store) Jobs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, manifestDir))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list manifests: %w", err)
+	}
+	var jobs []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
+			jobs = append(jobs, name)
+		}
+	}
+	sort.Strings(jobs)
+	return jobs, nil
+}
+
+// Verify checks every manifest (parse + checksum) and every referenced
+// blob (existence + content hash). It returns advisory warnings — e.g.
+// manifests written by a different binary revision than currentRevision —
+// and the first hard corruption as the error.
+func (s *Store) Verify(currentRevision string) ([]string, error) {
+	jobs, err := s.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	var warnings []string
+	for _, job := range jobs {
+		m, err := s.Manifest(job)
+		if err != nil {
+			return warnings, err
+		}
+		if currentRevision != "" && m.Revision != currentRevision {
+			warnings = append(warnings,
+				fmt.Sprintf("job %s written by revision %s (this binary: %s); resume only if the round structure is unchanged",
+					short(job), m.Revision, currentRevision))
+		}
+		for _, st := range m.Steps {
+			if _, err := s.Blob(st.Blob); err != nil {
+				return warnings, fmt.Errorf("job %s step %d: %w", short(job), st.Step, err)
+			}
+		}
+	}
+	return warnings, nil
+}
+
+// Prune removes blobs referenced by no manifest, returning how many were
+// removed and the bytes freed. Torn manifests abort the prune — deleting
+// blobs based on an unreadable reference list would destroy data.
+func (s *Store) Prune() (int, int64, error) {
+	jobs, err := s.Jobs()
+	if err != nil {
+		return 0, 0, err
+	}
+	live := map[string]bool{}
+	for _, job := range jobs {
+		m, err := s.Manifest(job)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, st := range m.Steps {
+			live[st.Blob] = true
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, blobDir))
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: list blobs: %w", err)
+	}
+	removed, freed := 0, int64(0)
+	for _, e := range ents {
+		if e.IsDir() || live[e.Name()] {
+			continue
+		}
+		info, err := e.Info()
+		if err == nil {
+			freed += info.Size()
+		}
+		if err := os.Remove(s.blobPath(e.Name())); err != nil {
+			return removed, freed, fmt.Errorf("checkpoint: prune %s: %w", e.Name(), err)
+		}
+		removed++
+	}
+	return removed, freed, nil
+}
+
+// StoreStats summarizes the store for status endpoints and dashboards.
+type StoreStats struct {
+	Blobs     int   `json:"blobs"`
+	Bytes     int64 `json:"bytes"`
+	Manifests int   `json:"manifests"`
+}
+
+// Stats walks the store; advisory (a concurrent writer may race it).
+func (s *Store) Stats() StoreStats {
+	var st StoreStats
+	if ents, err := os.ReadDir(filepath.Join(s.dir, blobDir)); err == nil {
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			st.Blobs++
+			if info, err := e.Info(); err == nil {
+				st.Bytes += info.Size()
+			}
+		}
+	}
+	if ents, err := os.ReadDir(filepath.Join(s.dir, manifestDir)); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+				st.Manifests++
+			}
+		}
+	}
+	return st
+}
+
+// short abbreviates a job digest for human-facing messages.
+func short(job string) string {
+	if len(job) > 12 {
+		return job[:12]
+	}
+	return job
+}

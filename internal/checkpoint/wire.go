@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mpcdist/internal/mpc"
+	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
+)
+
+// Snapshots go to disk (and into Job.Resume) through the same
+// self-describing payload codec the transport uses for round traffic, so
+// any payload type that can cross the wire can be checkpointed with no
+// extra registration, and the encoding is deterministic: equal snapshots
+// produce equal bytes, which is what makes the blobs content-addressable.
+
+// wireStep is one completed round in blob / resume-state form.
+type wireStep struct {
+	Step    int
+	Round   int
+	Name    string
+	Phase   string
+	Stats   mpc.RoundStats
+	Records []byte // framed post-shuffle record set (encodeRecords)
+}
+
+// wireState is the resume payload a coordinator ships to workers inside
+// the job spec: the durable step prefix, so every party fast-forwards the
+// identical rounds.
+type wireState struct {
+	Steps []wireStep
+}
+
+func init() {
+	transport.Register("ckpt.Step", wireStep{})
+	transport.Register("ckpt.State", wireState{})
+}
+
+// encodeRecords frames a round's merged post-shuffle record set: a uvarint
+// machine count, then per machine (in sorted id order, so the encoding is
+// canonical) a varint id, a uvarint payload count, and the codec encoding
+// of each payload in delivery order.
+func encodeRecords(c *transport.Codec, next map[int][]mpc.Payload) ([]byte, error) {
+	ids := make([]int, 0, len(next))
+	for id := range next {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendVarint(buf, int64(id))
+		msgs := next[id]
+		buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+		for _, p := range msgs {
+			var err error
+			if buf, err = c.Encode(buf, p); err != nil {
+				return nil, fmt.Errorf("checkpoint: encoding records: %w", err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// decodeRecords inverts encodeRecords, asserting every payload back to
+// mpc.Payload and rejecting trailing bytes.
+func decodeRecords(c *transport.Codec, data []byte) (map[int][]mpc.Payload, error) {
+	nm, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("checkpoint: truncated record set")
+	}
+	data = data[n:]
+	out := make(map[int][]mpc.Payload, nm)
+	for i := uint64(0); i < nm; i++ {
+		id, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("checkpoint: truncated record set")
+		}
+		data = data[n:]
+		cnt, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("checkpoint: truncated record set")
+		}
+		data = data[n:]
+		list := make([]mpc.Payload, 0, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			v, rest, err := c.DecodePrefix(data)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: decoding records: %w", err)
+			}
+			p, ok := v.(mpc.Payload)
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: record payload %T does not implement mpc.Payload", v)
+			}
+			list = append(list, p)
+			data = rest
+		}
+		out[int(id)] = list
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after record set", len(data))
+	}
+	return out, nil
+}
+
+// snapshotOf converts a decoded step back into the cluster's resume shape.
+func snapshotOf(c *transport.Codec, ws wireStep) (*mpc.RoundSnapshot, error) {
+	records, err := decodeRecords(c, ws.Records)
+	if err != nil {
+		return nil, err
+	}
+	return &mpc.RoundSnapshot{
+		Step:  ws.Step,
+		Round: ws.Round,
+		Name:  ws.Name,
+		Phase: trace.Phase(ws.Phase),
+		Stats: ws.Stats,
+		Next:  records,
+	}, nil
+}
+
+// matchStep verifies that the live round the cluster is about to run is
+// the one the stored step recorded; anything else means the job spec (or
+// binary) diverged from the run that wrote the checkpoint.
+func matchStep(ws wireStep, round int, name string, phase trace.Phase) error {
+	if ws.Round != round || ws.Name != name || ws.Phase != string(phase) {
+		return &DivergenceError{
+			Step: ws.Step,
+			Want: fmt.Sprintf("round %d %q phase=%s", ws.Round, ws.Name, ws.Phase),
+			Got:  fmt.Sprintf("round %d %q phase=%s", round, name, phase),
+		}
+	}
+	return nil
+}
+
+// DivergenceError reports a resume whose live execution does not match the
+// stored step sequence: the checkpoint was written by a different job spec
+// or a diverged binary, and fast-forwarding would corrupt the run.
+type DivergenceError struct {
+	Step int
+	Want string // what the checkpoint recorded
+	Got  string // what the live run is about to execute
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("checkpoint: step %d diverged: stored %s, live %s", e.Step, e.Want, e.Got)
+}

@@ -71,6 +71,12 @@ type Params struct {
 	// (EditMPC) share the one transport; its exchange sequence numbers run
 	// across cluster boundaries.
 	Transport transport.Transport
+	// Checkpointer, when non-nil, snapshots every completed cluster round
+	// and fast-forwards rounds already completed by a previous run (see
+	// internal/checkpoint). Drivers that build several clusters per job
+	// (EditMPC's guess ladder) share the one Checkpointer; its step counter
+	// runs across cluster boundaries. Nil means no durability.
+	Checkpointer mpc.Checkpointer
 }
 
 // PairSolver selects the per-pair edit-distance kernel used by the
@@ -153,6 +159,7 @@ func (p Params) cluster(n int) *mpc.Cluster {
 		MaxRetries:   p.MaxRetries,
 		Algo:         p.Algo,
 		Transport:    p.Transport,
+		Checkpointer: p.Checkpointer,
 	})
 }
 

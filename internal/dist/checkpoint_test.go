@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcdist/internal/checkpoint"
+)
+
+// tearManifest overwrites the job's manifest with truncated JSON — the
+// damage a crashed foreign writer (not this store, whose writes are
+// atomic) could leave behind.
+func tearManifest(t *testing.T, store *checkpoint.Store, digest string) {
+	t.Helper()
+	path := filepath.Join(store.Dir(), "manifests", digest+".json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"job":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPCheckpointResume drives the distributed resume path end to end
+// without killing processes (the CI smoke step covers a real SIGKILL):
+// a checkpointed session completes a job, then fresh sessions over the
+// same store fast-forward it — fully, and from a truncated prefix that
+// simulates a coordinator killed between flushes — with bit-identical
+// results. The coordinator ships the resume prefix inside the job spec,
+// so the workers' transport sequence numbers stay aligned; any skew here
+// fails loudly, not subtly.
+func TestTCPCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := parityJobs()[0] // ulam-mpc: two rounds, cheapest pipeline
+	local, lerr := runLocal(job)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := job.SpecDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First session: run and checkpoint the whole job.
+	sess, err := NewSession(SessionOptions{Workers: 2, Checkpoint: store, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distr, derr := sess.Run(job)
+	checkParity(t, "ulam-mpc/checkpointed", local, lerr, distr, derr)
+	cs := sess.CheckpointStatus()
+	if cs == nil || cs.Saves == 0 || cs.Job != digest {
+		t.Fatalf("checkpoint status after first run: %+v", cs)
+	}
+	steps := cs.Saves
+	sess.Close()
+
+	// Second session: the whole job fast-forwards, workers included.
+	sess2, err := NewSession(SessionOptions{
+		Workers: 2, Checkpoint: store, CheckpointEvery: 1, CheckpointResume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distr2, derr2 := sess2.Run(job)
+	checkParity(t, "ulam-mpc/full-resume", local, lerr, distr2, derr2)
+	cs2 := sess2.CheckpointStatus()
+	if cs2 == nil || cs2.Resumed != steps || cs2.Saves != 0 {
+		t.Fatalf("full resume status: %+v, want %d resumed / 0 saves", cs2, steps)
+	}
+	sess2.Close()
+
+	// Truncate the manifest to its first step — the durable state a
+	// coordinator killed right after the first flush would leave — and
+	// resume: one round fast-forwards, the rest run live on the cluster.
+	man, err := store.Manifest(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Steps = man.Steps[:1]
+	if err := store.WriteManifest(man); err != nil {
+		t.Fatal(err)
+	}
+	sess3, err := NewSession(SessionOptions{
+		Workers: 2, Checkpoint: store, CheckpointEvery: 1, CheckpointResume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess3.Close()
+	distr3, derr3 := sess3.Run(job)
+	checkParity(t, "ulam-mpc/partial-resume", local, lerr, distr3, derr3)
+	cs3 := sess3.CheckpointStatus()
+	if cs3 == nil || cs3.Resumed != 1 || cs3.Saves != steps-1 {
+		t.Fatalf("partial resume status: %+v, want 1 resumed / %d saves", cs3, steps-1)
+	}
+	// The re-saved suffix must reconstruct the identical manifest: same
+	// step count, same content-addressed blobs.
+	man2, err := store.Manifest(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man2.Steps) != steps {
+		t.Fatalf("manifest after partial resume has %d steps, want %d", len(man2.Steps), steps)
+	}
+	if warnings, err := store.Verify(""); err != nil || len(warnings) != 0 {
+		t.Errorf("store verify: %v, %v", warnings, err)
+	}
+}
+
+// TestTCPCheckpointTornStateFails pins the session-level contract: a torn
+// manifest surfaces as its typed error from Run (the caller decides
+// whether to restart fresh), never as a silent recompute or a hung
+// cluster.
+func TestTCPCheckpointTornStateFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := parityJobs()[0]
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := NewSession(SessionOptions{Workers: 2, Checkpoint: store, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	digest, err := job.SpecDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tearManifest(t, store, digest)
+
+	sess2, err := NewSession(SessionOptions{
+		Workers: 2, Checkpoint: store, CheckpointEvery: 1, CheckpointResume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	_, rerr := sess2.Run(job)
+	var te *checkpoint.TornManifestError
+	if !errors.As(rerr, &te) {
+		t.Fatalf("run over torn manifest: err = %v, want *TornManifestError", rerr)
+	}
+
+	// The session survives: the same job runs clean with resume off on a
+	// fresh session (the torn manifest is simply overwritten).
+	sess3, err := NewSession(SessionOptions{Workers: 2, Checkpoint: store, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess3.Close()
+	local, lerr := runLocal(job)
+	distr, derr := sess3.Run(job)
+	checkParity(t, "ulam-mpc/restart-over-torn", local, lerr, distr, derr)
+	if _, err := store.Manifest(digest); err != nil {
+		t.Errorf("manifest not healed by restart: %v", err)
+	}
+}

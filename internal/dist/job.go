@@ -9,6 +9,8 @@
 package dist
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -58,6 +60,26 @@ type Job struct {
 	// lcs-mpc), P/Q for Ulam permutations.
 	S, T []byte
 	P, Q []int
+
+	// Resume carries the coordinator's checkpoint resume state (an encoded
+	// checkpoint.wireState) when the job continues a previous run, so every
+	// worker fast-forwards the identical round prefix. Excluded from
+	// SpecDigest: resuming does not change what job this is.
+	Resume []byte
+}
+
+// SpecDigest is the job's durable identity: the sha256 of the codec
+// encoding of the spec with the Resume bytes cleared. It keys the
+// checkpoint store — a restarted coordinator recomputes the same digest
+// from the same inputs and finds its manifest.
+func (j Job) SpecDigest() (string, error) {
+	j.Resume = nil
+	buf, err := transport.NewCodec().Encode(nil, j)
+	if err != nil {
+		return "", fmt.Errorf("dist: encoding job spec: %w", err)
+	}
+	h := sha256.Sum256(buf)
+	return hex.EncodeToString(h[:]), nil
 }
 
 // resultDigest is the end-of-job cross-check a worker ships home: the

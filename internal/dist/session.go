@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/core"
 	"mpcdist/internal/netchaos"
 	"mpcdist/internal/trace"
@@ -50,6 +52,19 @@ type SessionOptions struct {
 	// from ClusterTrace after runs. Out-of-band: results and deterministic
 	// counters are bit-identical with or without it.
 	Telemetry bool
+	// Checkpoint, when non-nil, snapshots every completed round of each job
+	// into the store, keyed by the job's SpecDigest. Workers receive the
+	// coordinator's resume state inside the job spec, so all parties
+	// fast-forward the same prefix.
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the flush cadence in rounds (<= 0 means 1).
+	CheckpointEvery int
+	// CheckpointResume fast-forwards each job past rounds a previous run
+	// already persisted; without it an existing checkpoint is overwritten.
+	CheckpointResume bool
+	// OnCheckpointFlush, when non-nil, observes each durable flush (the
+	// server's metrics hook). Called from the driver goroutine; keep cheap.
+	OnCheckpointFlush func(steps int, bytes int64)
 }
 
 // Session is a running distributed cluster: this process is the
@@ -71,6 +86,11 @@ type Session struct {
 	// party across jobs, consumed by ClusterTrace.
 	tel     *trace.Collector
 	batches []trace.Telemetry
+
+	// ckMu guards saver separately from mu: Status endpoints read it while
+	// Run holds mu for the whole job.
+	ckMu  sync.Mutex
+	saver *checkpoint.Saver
 }
 
 // NewSession listens on a loopback port, re-execs this binary Workers
@@ -145,6 +165,30 @@ func NewSession(opts SessionOptions) (*Session, error) {
 func (s *Session) Run(job Job) (core.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The saver must exist before the job is encoded: its resume state
+	// ships inside the spec so workers fast-forward the same prefix.
+	var saver *checkpoint.Saver
+	if s.opts.Checkpoint != nil {
+		digest, err := job.SpecDigest()
+		if err != nil {
+			return core.Result{}, err
+		}
+		saver, err = checkpoint.NewSaver(s.opts.Checkpoint, digest, job.Algo, checkpoint.SaverOptions{
+			Every:    s.opts.CheckpointEvery,
+			Resume:   s.opts.CheckpointResume,
+			Revision: buildinfo.Revision(),
+			OnFlush:  s.opts.OnCheckpointFlush,
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+		if job.Resume, err = saver.ResumeState(); err != nil {
+			return core.Result{}, err
+		}
+		s.ckMu.Lock()
+		s.saver = saver
+		s.ckMu.Unlock()
+	}
 	jb, err := encodeValue(s.co.Codec(), job)
 	if err != nil {
 		return core.Result{}, err
@@ -161,7 +205,17 @@ func (s *Session) Run(job Job) (core.Result, error) {
 		Observer:    s.obs,
 		Transport:   s.co,
 	}
+	if saver != nil {
+		host.Checkpointer = saver
+	}
 	res, rerr := runJob(job, host)
+	if saver != nil && rerr == nil {
+		// Persist the tail shorter than the flush cadence, so a completed
+		// job's store covers every round.
+		if err := saver.Flush(); err != nil {
+			return res, err
+		}
+	}
 	if isTransportErr(rerr) {
 		// The session itself broke (divergence, total peer loss): workers
 		// may be stuck at a barrier and will only unwind at Close's
@@ -238,6 +292,20 @@ func (s *Session) PeerStats() []transport.PeerStats { return s.co.PeerStats() }
 // Status snapshots the coordinator's live view of the session for the
 // -status endpoint. Safe to call from any goroutine.
 func (s *Session) Status() transport.Status { return s.co.Status() }
+
+// CheckpointStatus snapshots the current job's checkpoint progress; nil
+// when the session runs without a store (or before the first job). Safe to
+// call from any goroutine, including mid-job.
+func (s *Session) CheckpointStatus() *checkpoint.Status {
+	s.ckMu.Lock()
+	saver := s.saver
+	s.ckMu.Unlock()
+	if saver == nil {
+		return nil
+	}
+	st := saver.Status()
+	return &st
+}
 
 // ClusterTrace merges everything the session has observed so far — the
 // coordinator's own trace events, the telemetry workers shipped at round

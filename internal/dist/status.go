@@ -7,8 +7,20 @@ import (
 	"net/http"
 	"time"
 
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/trace"
+	"mpcdist/internal/transport"
 )
+
+// StatusWithCheckpoint is the coordinator's status snapshot when the
+// session checkpoints: the transport view plus live checkpoint progress.
+// cmd/mpcdist serves it from -status and cmd/mpctop renders it; the
+// embedded transport.Status keeps the JSON shape a superset of the plain
+// coordinator/worker snapshot.
+type StatusWithCheckpoint struct {
+	transport.Status
+	Checkpoint *checkpoint.Status `json:"checkpoint,omitempty"`
+}
 
 // StartStatus serves a live JSON status snapshot over HTTP at addr
 // (":8081" style): GET /status — and / as a convenience — returns

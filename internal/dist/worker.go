@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/core"
 	"mpcdist/internal/trace"
 	"mpcdist/internal/transport"
@@ -164,6 +165,16 @@ func Serve(w *transport.Worker) error {
 		}
 		if col != nil {
 			host.Observer = col
+		}
+		if len(job.Resume) > 0 {
+			// The coordinator resumed from a checkpoint: replay the shipped
+			// prefix so this party fast-forwards the identical rounds and
+			// the exchange sequence stays aligned.
+			rp, err := checkpoint.NewReplayer(job.Resume)
+			if err != nil {
+				return fmt.Errorf("dist: job resume state: %w", err)
+			}
+			host.Checkpointer = rp
 		}
 		res, rerr := runJob(job, host)
 		if isTransportErr(rerr) {

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"mpcdist/internal/baseline"
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
 	"mpcdist/internal/core"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
@@ -62,6 +64,12 @@ type BenchConfig struct {
 	// must still compare exactly against the clean local baseline, with the
 	// recovery cost visible only in the advisory wire fields.
 	NetChaos *netchaos.Plan
+	// CheckpointDir, when non-empty, snapshots every case's rounds into a
+	// checkpoint store there (flush cadence 1). Checkpointing must be
+	// invisible to the deterministic counters — a checkpointed run compares
+	// exactly against a plain baseline — while the advisory
+	// checkpointSaves/checkpointBytes fields record what durability cost.
+	CheckpointDir string
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -129,6 +137,12 @@ type BenchResult struct {
 	// bench records what the link survived while the counters stayed exact.
 	Reconnects    int64 `json:"reconnects,omitempty"`
 	CorruptFrames int64 `json:"corruptFrames,omitempty"`
+	// CheckpointSaves/CheckpointBytes are the case's durability activity
+	// when BenchConfig.CheckpointDir is set: steps persisted and blob bytes
+	// written. Advisory like WireBytes — CompareBench never gates on them —
+	// so a checkpointed run still diffs exactly against a plain baseline.
+	CheckpointSaves int   `json:"checkpointSaves,omitempty"`
+	CheckpointBytes int64 `json:"checkpointBytes,omitempty"`
 }
 
 // BenchFile is the BENCH_<stamp>.json schema.
@@ -150,8 +164,12 @@ type BenchFile struct {
 	// NetChaos records the link-fault schedule the suite ran under, if
 	// any. Excluded from the config gate: diffing a chaos run against the
 	// clean baseline is exactly the robustness invariant.
-	NetChaos string        `json:"netchaos,omitempty"`
-	Results  []BenchResult `json:"results"`
+	NetChaos string `json:"netchaos,omitempty"`
+	// Checkpoint records the store directory the suite snapshotted into, if
+	// any. Excluded from the config gate: diffing a checkpointed run against
+	// a plain baseline is exactly the zero-interference check.
+	Checkpoint string        `json:"checkpointDir,omitempty"`
+	Results    []BenchResult `json:"results"`
 }
 
 // benchInput is one case's generated problem instance: a byte pair for
@@ -305,6 +323,14 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 		Seed:  cfg.Seed, Eps: cfg.Eps, Sizes: cfg.Sizes,
 		Transport: cfg.Transport,
 	}
+	var store *checkpoint.Store
+	if cfg.CheckpointDir != "" {
+		var err error
+		if store, err = checkpoint.Open(cfg.CheckpointDir); err != nil {
+			return BenchFile{}, err
+		}
+		file.Checkpoint = cfg.CheckpointDir
+	}
 	var sess *dist.Session
 	var local *transport.Local
 	switch cfg.Transport {
@@ -316,7 +342,7 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 	case "tcp":
 		var err error
 		sess, err = dist.NewSession(dist.SessionOptions{Workers: cfg.Workers, Telemetry: cfg.Telemetry,
-			Transport: cfg.TransportOpts, NetChaos: cfg.NetChaos})
+			Transport: cfg.TransportOpts, NetChaos: cfg.NetChaos, Checkpoint: store})
 		if err != nil {
 			return BenchFile{}, err
 		}
@@ -344,11 +370,41 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				// as non-nil to the driver.
 				p.Transport = local
 			}
+			in := bc.gen(n)
+			var saver *checkpoint.Saver
+			if store != nil && sess == nil {
+				// In-process durability: one saver per case, keyed by the
+				// same job-spec digest a distributed run would use. The tcp
+				// path builds its saver inside Session.Run.
+				job := dist.FromParams(distAlgo(bc.algo), p)
+				job.S, job.T, job.P, job.Q = in.s, in.sbar, in.p, in.q
+				digest, err := job.SpecDigest()
+				if err != nil {
+					return BenchFile{}, err
+				}
+				saver, err = checkpoint.NewSaver(store, digest, distAlgo(bc.algo),
+					checkpoint.SaverOptions{Revision: buildinfo.Revision()})
+				if err != nil {
+					return BenchFile{}, err
+				}
+				p.Checkpointer = saver
+			}
 			start := time.Now()
 			wireStart := stats()
-			res, err := runCase(bc, bc.gen(n), p, sess)
+			res, err := runCase(bc, in, p, sess)
 			if err != nil {
 				return BenchFile{}, fmt.Errorf("harness: bench %s/%s n=%d: %w", bc.algo, bc.workload, n, err)
+			}
+			ckptSaves, ckptBytes := 0, int64(0)
+			if saver != nil {
+				if err := saver.Flush(); err != nil {
+					return BenchFile{}, err
+				}
+				ckptSaves, _, ckptBytes = saver.Counters()
+			} else if sess != nil && store != nil {
+				if cs := sess.CheckpointStatus(); cs != nil {
+					ckptSaves, ckptBytes = cs.Saves, cs.BytesWritten
+				}
 			}
 			times := make([]time.Duration, 0, len(res.Report.Rounds))
 			for _, rs := range res.Report.Rounds {
@@ -361,23 +417,25 @@ func RunBench(cfg BenchConfig) (BenchFile, error) {
 				Algo:     bc.algo,
 				Workload: bc.workload,
 				N:        n, X: bc.x,
-				Value:       res.Value,
-				Rounds:      res.Report.NumRounds,
-				Machines:    res.Report.MaxMachines,
-				MaxWords:    res.Report.MaxWords,
-				TotalOps:    res.Report.TotalOps,
-				CriticalOps: res.Report.CriticalOps,
-				CommWords:   res.Report.CommWords,
-				Failures:    res.Report.Failures,
-				Retries:     res.Report.Retries,
-				Phases:      benchPhases(res.Report),
-				ElapsedMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
-				RoundP50Ms:    msOf(rq.P50),
-				RoundP95Ms:    msOf(rq.P95),
-				RoundP99Ms:    msOf(rq.P99),
-				WireBytes:     wireEnd.BytesIn + wireEnd.BytesOut - wireStart.BytesIn - wireStart.BytesOut,
-				Reconnects:    int64(wireEnd.Reconnects - wireStart.Reconnects),
-				CorruptFrames: int64(wireEnd.CorruptFrames - wireStart.CorruptFrames),
+				Value:           res.Value,
+				Rounds:          res.Report.NumRounds,
+				Machines:        res.Report.MaxMachines,
+				MaxWords:        res.Report.MaxWords,
+				TotalOps:        res.Report.TotalOps,
+				CriticalOps:     res.Report.CriticalOps,
+				CommWords:       res.Report.CommWords,
+				Failures:        res.Report.Failures,
+				Retries:         res.Report.Retries,
+				Phases:          benchPhases(res.Report),
+				ElapsedMs:       float64(time.Since(start).Nanoseconds()) / 1e6,
+				RoundP50Ms:      msOf(rq.P50),
+				RoundP95Ms:      msOf(rq.P95),
+				RoundP99Ms:      msOf(rq.P99),
+				WireBytes:       wireEnd.BytesIn + wireEnd.BytesOut - wireStart.BytesIn - wireStart.BytesOut,
+				Reconnects:      int64(wireEnd.Reconnects - wireStart.Reconnects),
+				CorruptFrames:   int64(wireEnd.CorruptFrames - wireStart.CorruptFrames),
+				CheckpointSaves: ckptSaves,
+				CheckpointBytes: ckptBytes,
 			})
 		}
 	}

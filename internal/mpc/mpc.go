@@ -104,6 +104,12 @@ type Config struct {
 	// otherwise-identical Config (same Seed, MachineWords, Faults, ...):
 	// the SPMD contract.
 	Transport transport.Transport
+	// Checkpointer, when non-nil, is consulted at the start of every round
+	// (fast-forwarding rounds that completed in a previous run) and handed
+	// a snapshot after every completed round (see RoundSnapshot). Nil
+	// means no durability — the seed behavior, bit-identical by the
+	// determinism invariant either way.
+	Checkpointer Checkpointer
 }
 
 // DefaultMaxRetries is the recovery budget used when Config.MaxRetries is
@@ -497,6 +503,28 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	if err := ctx.Err(); err != nil {
 		return nil, fail(fmt.Errorf("mpc: round %q cancelled: %w", name, err))
 	}
+	if ck := c.cfg.Checkpointer; ck != nil {
+		snap, err := ck.Resume(round, name, phase)
+		if err != nil {
+			return nil, fail(fmt.Errorf("mpc: round %q: %w", name, err))
+		}
+		if snap != nil {
+			// Fast-forward: the round completed in a previous run. Restore
+			// its stats verbatim and hand back the saved post-shuffle
+			// outputs without executing machines or touching the transport
+			// — resumed rounds never reach the exchange barrier, so every
+			// party of a distributed resume skips them in lockstep and the
+			// exchange sequence numbers stay aligned.
+			st = snap.Stats
+			c.rounds = append(c.rounds, st)
+			if obs != nil {
+				trace.EmitCheckpoint(obs, trace.CheckpointEvent{Round: round, Name: name,
+					Phase: phase, Kind: trace.CheckpointResume, Step: snap.Step, At: time.Now()})
+				obs.RoundEnd(summary(round, &st))
+			}
+			return snap.Next, nil
+		}
+	}
 	if c.cfg.MaxMachines > 0 && len(inputs) > c.cfg.MaxMachines {
 		return nil, fail(&MemoryError{Round: name, Words: len(inputs), Limit: c.cfg.MaxMachines, Kind: "machines"})
 	}
@@ -773,6 +801,18 @@ func (c *Cluster) Run(name string, phase trace.Phase, inputs map[int][]Payload, 
 	if firstErr != nil {
 		triggerFlightOnExhaustion(firstErr)
 		return nil, firstErr
+	}
+	if ck := c.cfg.Checkpointer; ck != nil {
+		snap := &RoundSnapshot{Round: round, Name: name, Phase: phase, Stats: st, Next: next}
+		if err := ck.Save(snap); err != nil {
+			// The observer already saw the round close successfully; the
+			// save failure is the job's error, not the round's.
+			return nil, fmt.Errorf("mpc: round %q: checkpoint save: %w", name, err)
+		}
+		if obs != nil {
+			trace.EmitCheckpoint(obs, trace.CheckpointEvent{Round: round, Name: name,
+				Phase: phase, Kind: trace.CheckpointSave, Step: snap.Step, At: time.Now()})
+		}
 	}
 	return next, nil
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcdist/internal/checkpoint"
+)
+
+// batchOne posts a single-query batch and returns its answer.
+func batchOne(t *testing.T, base string, q Query) Answer {
+	t.Helper()
+	resp := post(t, base+"/v1/batch", BatchRequest{Queries: []Query{q}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("empty batch response: %v", sc.Err())
+	}
+	var item BatchItem
+	if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+		t.Fatal(err)
+	}
+	if item.Error != "" {
+		t.Fatalf("batch query failed: %s", item.Error)
+	}
+	return *item.Answer
+}
+
+// TestBatchCheckpointResume is the mpcserve-restart story in miniature:
+// a batch MPC query on a checkpoint-configured server persists its rounds;
+// a second server over the same store (a restarted process — fresh cache,
+// fresh metrics) answers the same query by fast-forwarding instead of
+// recomputing, bit-identically; and a torn store self-heals into a fresh
+// run instead of failing the request.
+func TestBatchCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	s := rng.Perm(n)
+	sbar := append([]int(nil), s...)
+	sbar[10], sbar[200] = sbar[200], sbar[10]
+	q := Query{Algo: "ulam-mpc", ASeq: s, BSeq: sbar, X: 0.3, Seed: 7}
+
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Checkpoint: store, CheckpointEvery: 1, CacheSize: -1}
+
+	// First server: computes live, persists every round.
+	ts1 := newTestServer(t, cfg)
+	a1 := batchOne(t, ts1.URL, q)
+	if a1.ResumedRounds != 0 {
+		t.Fatalf("first run resumed %d rounds, want 0", a1.ResumedRounds)
+	}
+	jobs, err := store.Jobs()
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("store jobs after first batch: %v, %v", jobs, err)
+	}
+	snap1 := metricsSnapshot(t, ts1.URL)
+	if snap1.Checkpoint == nil || snap1.Checkpoint.Saves == 0 {
+		t.Fatalf("metrics after first batch: %+v", snap1.Checkpoint)
+	}
+
+	// "Restarted" server over the same store: the job fast-forwards.
+	ts2 := newTestServer(t, cfg)
+	a2 := batchOne(t, ts2.URL, q)
+	if a2.ResumedRounds == 0 {
+		t.Fatal("restarted server recomputed instead of resuming")
+	}
+	if a2.Distance != a1.Distance || a2.Report == nil || a1.Report == nil ||
+		a2.Report.TotalOps != a1.Report.TotalOps || a2.Report.CommWords != a1.Report.CommWords {
+		t.Fatalf("resumed answer differs: first %+v, resumed %+v", a1.Report, a2.Report)
+	}
+	snap2 := metricsSnapshot(t, ts2.URL)
+	if snap2.Checkpoint == nil || snap2.Checkpoint.ResumedSteps == 0 {
+		t.Fatalf("metrics after resume: %+v", snap2.Checkpoint)
+	}
+
+	// /v1/distance (non-batch) must not touch the store: short interactive
+	// queries recompute; only long batch jobs earn durability.
+	before := store.Stats()
+	_ = decodeAnswer(t, post(t, ts2.URL+"/v1/distance", q))
+	if after := store.Stats(); after != before {
+		t.Errorf("interactive query wrote to the store: %+v -> %+v", before, after)
+	}
+
+	// Torn manifest: the next batch self-heals (fresh run, logged), the
+	// request still succeeds, and the store is rewritten clean.
+	path := filepath.Join(store.Dir(), "manifests", jobs[0]+".json")
+	if err := os.WriteFile(path, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts3 := newTestServer(t, cfg)
+	a3 := batchOne(t, ts3.URL, q)
+	if a3.Distance != a1.Distance {
+		t.Fatalf("self-healed answer = %d, want %d", a3.Distance, a1.Distance)
+	}
+	if a3.ResumedRounds != 0 {
+		t.Errorf("self-healed run claims %d resumed rounds", a3.ResumedRounds)
+	}
+	if _, err := store.Manifest(jobs[0]); err != nil {
+		t.Errorf("store not healed: %v", err)
+	}
+}

@@ -104,6 +104,10 @@ type Metrics struct {
 	shed      uint64
 	perAlgo   map[string]*AlgoStats
 	perWorker map[int]*WorkerAgg
+	// Checkpoint seam counters (servers started with a checkpoint store).
+	ckptSaves   uint64
+	ckptResumed uint64
+	ckptBytes   int64
 }
 
 // NewMetrics returns an empty registry.
@@ -229,6 +233,23 @@ func (m *Metrics) ObserveBatch() {
 	m.mu.Unlock()
 }
 
+// ObserveCheckpointFlush counts one durable checkpoint flush: steps
+// persisted and blob bytes written. Wired as the savers' OnFlush hook.
+func (m *Metrics) ObserveCheckpointFlush(steps int, bytes int64) {
+	m.mu.Lock()
+	m.ckptSaves += uint64(steps)
+	m.ckptBytes += bytes
+	m.mu.Unlock()
+}
+
+// ObserveCheckpointResume counts rounds fast-forwarded from a checkpoint
+// instead of recomputed.
+func (m *Metrics) ObserveCheckpointResume(steps int) {
+	m.mu.Lock()
+	m.ckptResumed += uint64(steps)
+	m.mu.Unlock()
+}
+
 // ObservePanic counts a recovered handler panic.
 func (m *Metrics) ObservePanic() {
 	m.mu.Lock()
@@ -257,6 +278,18 @@ type Snapshot struct {
 	// Transport is the live cluster-transport view, filled by the server at
 	// scrape time from the session (distributed servers only).
 	Transport *TransportJSON `json:"transport,omitempty"`
+	// Checkpoint is the durability seam's activity (servers started with a
+	// checkpoint store only); store gauges are filled at scrape time.
+	Checkpoint *CheckpointSnap `json:"checkpoint,omitempty"`
+}
+
+// CheckpointSnap is the checkpoint section of the metrics snapshot.
+type CheckpointSnap struct {
+	Saves        uint64 `json:"savedSteps"`   // steps persisted since start
+	ResumedSteps uint64 `json:"resumedSteps"` // rounds fast-forwarded, not recomputed
+	BytesWritten int64  `json:"bytesWritten"` // blob bytes written since start
+	StoreBlobs   int    `json:"storeBlobs"`   // gauge: blobs in the store now
+	StoreBytes   int64  `json:"storeBytes"`   // gauge: store size now
 }
 
 // Snapshot copies the counters; cache and pool stats are filled by the
@@ -285,7 +318,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			workers[party] = &c
 		}
 	}
-	return Snapshot{
+	snap := Snapshot{
 		UptimeSeconds:  time.Since(m.started).Seconds(),
 		Requests:       m.requests,
 		Errors:         m.errors,
@@ -299,4 +332,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Algorithms:     algs,
 		Workers:        workers,
 	}
+	if m.ckptSaves > 0 || m.ckptResumed > 0 || m.ckptBytes > 0 {
+		snap.Checkpoint = &CheckpointSnap{
+			Saves:        m.ckptSaves,
+			ResumedSteps: m.ckptResumed,
+			BytesWritten: m.ckptBytes,
+		}
+	}
+	return snap
 }

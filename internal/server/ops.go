@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"mpcdist/internal/buildinfo"
 	"mpcdist/internal/dist"
 	"mpcdist/internal/trace"
 )
@@ -26,7 +27,20 @@ func (s *Server) OpsHandler() http.Handler {
 	mux.HandleFunc("/debug/flight", dist.FlightDumpHandler)
 	mux.HandleFunc("GET /flight", handleFlightStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", handleVersion)
 	return mux
+}
+
+// handleVersion serves the binary's build identity (version, VCS revision,
+// Go toolchain) — what an operator compares against a checkpoint
+// manifest's recorded revision before trusting a cross-restart resume.
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(buildinfo.Get()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // handleFlightStats serves the flight recorder's live summary (retained

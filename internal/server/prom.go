@@ -304,6 +304,21 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		}
 	}
 
+	// Checkpoint seam: durability activity plus live store gauges, present
+	// only on servers started with a checkpoint store.
+	if c := snap.Checkpoint; c != nil {
+		p.header("mpcserve_checkpoint_saves_total", "Round snapshots persisted to the checkpoint store.", "counter")
+		p.value("mpcserve_checkpoint_saves_total", "", float64(c.Saves))
+		p.header("mpcserve_checkpoint_resumed_steps_total", "Rounds fast-forwarded from checkpoints instead of recomputed.", "counter")
+		p.value("mpcserve_checkpoint_resumed_steps_total", "", float64(c.ResumedSteps))
+		p.header("mpcserve_checkpoint_bytes_total", "Blob bytes written to the checkpoint store.", "counter")
+		p.value("mpcserve_checkpoint_bytes_total", "", float64(c.BytesWritten))
+		p.header("mpcserve_checkpoint_store_blobs", "Blobs in the checkpoint store.", "gauge")
+		p.value("mpcserve_checkpoint_store_blobs", "", float64(c.StoreBlobs))
+		p.header("mpcserve_checkpoint_store_bytes", "Checkpoint store size in bytes.", "gauge")
+		p.value("mpcserve_checkpoint_store_bytes", "", float64(c.StoreBytes))
+	}
+
 	// Per-party attribution aggregated over distributed runs.
 	if len(snap.Workers) > 0 {
 		parties := make([]int, 0, len(snap.Workers))

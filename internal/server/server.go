@@ -46,6 +46,9 @@ import (
 	"time"
 
 	"mpcdist"
+	"mpcdist/internal/buildinfo"
+	"mpcdist/internal/checkpoint"
+	"mpcdist/internal/dist"
 	"mpcdist/internal/fault"
 	"mpcdist/internal/trace"
 )
@@ -108,6 +111,18 @@ type Config struct {
 	// cluster runs — their resilience story is the transport's own
 	// mid-round reassignment.
 	Dist DistRunner
+	// Checkpoint, when non-nil, snapshots the rounds of batch-originated
+	// MPC queries into the store, keyed by job-spec digest, and
+	// auto-resumes: a restarted mpcserve receiving the same batch
+	// fast-forwards completed rounds instead of recomputing them. Only
+	// batch queries checkpoint — they are the long-running, retried-on-
+	// restart workload; interactive /v1/distance queries are cheaper to
+	// recompute than to persist. The mpcserve_checkpoint_* metrics series
+	// record the seam's activity. (A distributed server's sessions carry
+	// their own store; cmd/mpcserve wires the same one into both.)
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the durable flush cadence in rounds (0 = 1).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -260,8 +275,9 @@ func (s *Server) validate(q Query) (algoSpec, mpcdist.MPCParams, error) {
 // answer resolves one query: validation, cache lookup, pooled compute.
 // With wantTrace a Chrome trace observer is attached to the MPC run and
 // the cache is bypassed both ways (a traced answer is never representative
-// of, or reusable as, the plain one).
-func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, error) {
+// of, or reusable as, the plain one). resumable marks batch-originated
+// queries, the ones the checkpoint seam persists and auto-resumes.
+func (s *Server) answer(ctx context.Context, q Query, wantTrace, resumable bool) (Answer, error) {
 	spec, params, err := s.validate(q)
 	if err != nil {
 		s.metrics.ObserveBadInput()
@@ -303,7 +319,7 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 	var a Answer
 	var runErr error
 	poolErr := s.pool.DoWithin(ctx, s.cfg.ShedWait, func() {
-		a, runErr = s.compute(ctx, spec, q, params, wantTrace)
+		a, runErr = s.compute(ctx, spec, q, params, wantTrace, resumable)
 	})
 	elapsed := time.Since(start)
 	if poolErr != nil {
@@ -348,7 +364,7 @@ func (s *Server) answer(ctx context.Context, q Query, wantTrace bool) (Answer, e
 // exact kernel gets the request deadline minus the reserve; if it runs out
 // while the request itself is still alive, the sequential fallback answers
 // within the reserved slice, marked degraded.
-func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpcdist.MPCParams, wantTrace bool) (Answer, error) {
+func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpcdist.MPCParams, wantTrace, resumable bool) (Answer, error) {
 	// Cluster routing: with a distributed session attached, eligible MPC
 	// queries run across the real worker processes. Traced queries stay
 	// in-process (the trace observer wants this process's event stream),
@@ -365,6 +381,30 @@ func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpc
 		a := mpcAnswer(q.Algo, res)
 		a.Distributed = true
 		return a, nil
+	}
+	// Checkpoint seam for in-process batch MPC queries: persist rounds and
+	// auto-resume, so re-submitting a batch after a server restart
+	// fast-forwards what already ran instead of recomputing it.
+	if resumable && spec.MPC && s.cfg.Checkpoint != nil && !wantTrace {
+		saver, err := s.openSaver(q, params)
+		if err != nil {
+			// A broken store must not take the serving path down: log, run
+			// without durability, and let the operator ckpt-verify the store.
+			s.log.Error("checkpoint store unusable, computing without durability",
+				"algo", q.Algo, "error", err.Error())
+		} else {
+			params.Checkpointer = saver
+			a, err := spec.run(ctx, q, params)
+			if err == nil {
+				if ferr := saver.Flush(); ferr != nil {
+					return Answer{}, ferr
+				}
+				_, resumed, _ := saver.Counters()
+				s.metrics.ObserveCheckpointResume(resumed)
+				a.ResumedRounds = resumed
+			}
+			return a, err
+		}
 	}
 	runCtx := ctx
 	canDegrade := spec.degrade != nil && s.cfg.DegradeReserve > 0 && !wantTrace
@@ -399,6 +439,38 @@ func (s *Server) compute(ctx context.Context, spec algoSpec, q Query, params mpc
 	return a, err
 }
 
+// openSaver builds a batch query's job-keyed saver, auto-resuming any
+// durable prefix. Unusable prior state (torn manifest, corrupt blob,
+// diverged algorithm) falls back to restarting the job's checkpoint from
+// scratch — the store heals on the next flush — so only a store that
+// cannot be opened fresh surfaces as an error.
+func (s *Server) openSaver(q Query, params mpcdist.MPCParams) (*checkpoint.Saver, error) {
+	name := q.Algo
+	if spec := algos[q.Algo]; spec.distAlgo != "" {
+		name = spec.distAlgo
+	}
+	job := dist.FromParams(name, params)
+	job.S, job.T, job.P, job.Q = []byte(q.A), []byte(q.B), q.ASeq, q.BSeq
+	digest, err := job.SpecDigest()
+	if err != nil {
+		return nil, err
+	}
+	opts := checkpoint.SaverOptions{
+		Every:    s.cfg.CheckpointEvery,
+		Resume:   true,
+		Revision: buildinfo.Revision(),
+		OnFlush:  s.metrics.ObserveCheckpointFlush,
+	}
+	saver, err := checkpoint.NewSaver(s.cfg.Checkpoint, digest, name, opts)
+	if err != nil {
+		s.log.Warn("checkpoint resume unusable, restarting job state",
+			"algo", q.Algo, "error", err.Error())
+		opts.Resume = false
+		saver, err = checkpoint.NewSaver(s.cfg.Checkpoint, digest, name, opts)
+	}
+	return saver, err
+}
+
 // logQuery emits one structured line per resolved query, carrying the
 // middleware's request ID so batch sub-queries correlate with their
 // request's access-log line.
@@ -426,7 +498,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	a, err := s.answer(ctx, q, r.URL.Query().Get("trace") == "1")
+	a, err := s.answer(ctx, q, r.URL.Query().Get("trace") == "1", false)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -462,7 +534,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, q := range req.Queries {
 			go func(i int, q Query) {
 				defer func() { done <- struct{}{} }()
-				a, err := s.answer(ctx, q, false)
+				a, err := s.answer(ctx, q, false, true)
 				if err != nil {
 					items <- BatchItem{Index: i, Error: err.Error()}
 					return
@@ -504,6 +576,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Pool = s.pool.Stats()
 	if s.cfg.Dist != nil {
 		snap.Transport = transportJSON(s.cfg.Dist.Status())
+	}
+	if s.cfg.Checkpoint != nil {
+		if snap.Checkpoint == nil {
+			snap.Checkpoint = &CheckpointSnap{}
+		}
+		ss := s.cfg.Checkpoint.Stats()
+		snap.Checkpoint.StoreBlobs, snap.Checkpoint.StoreBytes = ss.Blobs, ss.Bytes
 	}
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)

@@ -54,6 +54,10 @@ type Answer struct {
 	// Retries counts the MPC cluster's fault-recovery actions during this
 	// run (0 and omitted without fault injection).
 	Retries int `json:"retries,omitempty"`
+	// ResumedRounds counts rounds fast-forwarded from a checkpoint instead
+	// of recomputed (batch queries on a server with a checkpoint store).
+	// The distance and every report counter are bit-identical either way.
+	ResumedRounds int `json:"resumedRounds,omitempty"`
 	// Cached reports whether the answer was served from the LRU cache.
 	Cached bool `json:"cached"`
 	// ElapsedMs is the compute time of the original (uncached) execution.

@@ -43,11 +43,13 @@ type chromeRound struct {
 	summary RoundSummary
 }
 
-// chromeInstant is a fault or retry rendered as an instant event on the
-// affected machine's track.
+// chromeInstant is a fault, retry, or checkpoint action rendered as an
+// instant event: fault/retry on the affected machine's track, checkpoint
+// (machine -1) on the rounds track.
 type chromeInstant struct {
 	pid     int
-	name    string // EventFault or EventRetry
+	name    string // EventFault, EventRetry, or "checkpoint"
+	cat     string // event category ("fault" or "checkpoint")
 	machine int
 	at      time.Time
 	args    map[string]any
@@ -99,7 +101,7 @@ func (c *Chrome) Fault(e FaultEvent) {
 	}
 	c.mu.Lock()
 	c.instants = append(c.instants, chromeInstant{
-		pid: c.pid, name: EventFault, machine: e.Machine, at: e.At, args: args})
+		pid: c.pid, name: EventFault, cat: "fault", machine: e.Machine, at: e.At, args: args})
 	c.mu.Unlock()
 }
 
@@ -116,7 +118,21 @@ func (c *Chrome) Retry(e RetryEvent) {
 	}
 	c.mu.Lock()
 	c.instants = append(c.instants, chromeInstant{
-		pid: c.pid, name: EventRetry, machine: e.Machine, at: e.At, args: args})
+		pid: c.pid, name: EventRetry, cat: "fault", machine: e.Machine, at: e.At, args: args})
+	c.mu.Unlock()
+}
+
+// Checkpoint records a durability action (round snapshot saved, or round
+// fast-forwarded from one) as an instant event on the rounds track.
+func (c *Chrome) Checkpoint(e CheckpointEvent) {
+	args := map[string]any{
+		"round": e.Round,
+		"kind":  e.Kind,
+		"step":  e.Step,
+	}
+	c.mu.Lock()
+	c.instants = append(c.instants, chromeInstant{
+		pid: c.pid, name: "checkpoint", cat: "checkpoint", machine: -1, at: e.At, args: args})
 	c.mu.Unlock()
 }
 
@@ -264,9 +280,13 @@ func (c *Chrome) build() chromeFile {
 	}
 	for _, in := range instants {
 		proc(in.pid)
-		meta(in.pid, in.machine+1, "machine "+strconv.Itoa(in.machine))
+		if in.machine < 0 {
+			meta(in.pid, roundsTrack, "rounds")
+		} else {
+			meta(in.pid, in.machine+1, "machine "+strconv.Itoa(in.machine))
+		}
 		events = append(events, chromeEvent{
-			Name: in.name, Cat: "fault", Ph: "i", Pid: in.pid, Tid: in.machine + 1,
+			Name: in.name, Cat: in.cat, Ph: "i", Pid: in.pid, Tid: in.machine + 1,
 			Ts: us(in.at), Args: in.args,
 		})
 	}

@@ -48,6 +48,13 @@ type FlightRecorder struct {
 	seen    uint64 // total events offered to the recorder, retained or not
 	corrupt uint64 // corrupt-frame transport events seen (burst trigger)
 
+	// Checkpoint bookkeeping: counts of rounds persisted to / restored
+	// from the durable store, and the most recent step's coordinates.
+	ckptSaves   uint64
+	ckptResumes uint64
+	ckptStep    int
+	ckptRound   int
+
 	dump     atomic.Value // func(reason string)
 	lastDump atomic.Int64 // UnixNano of the last auto dump, for debouncing
 }
@@ -231,6 +238,21 @@ func (f *FlightRecorder) Transport(e TransportEvent) {
 	}
 }
 
+// Checkpoint records a durability action. The recorder keeps counts and
+// the latest step rather than a ring: a dump wants "how far did the store
+// get", not a history the manifest already holds.
+func (f *FlightRecorder) Checkpoint(e CheckpointEvent) {
+	f.mu.Lock()
+	f.seen++
+	if e.Kind == CheckpointSave {
+		f.ckptSaves++
+	} else {
+		f.ckptResumes++
+	}
+	f.ckptStep, f.ckptRound = e.Step, e.Round
+	f.mu.Unlock()
+}
+
 // flightCorruptBurst is how many corrupt-frame events auto-trigger a dump:
 // one flipped bit is chaos-as-usual, a burst means a dirty link worth a
 // post-mortem.
@@ -284,6 +306,7 @@ func (f *FlightRecorder) Reset() {
 	f.hasOpen = false
 	f.latN = 0
 	f.seen = 0
+	f.ckptSaves, f.ckptResumes, f.ckptStep, f.ckptRound = 0, 0, 0, 0
 	f.mu.Unlock()
 }
 
@@ -308,6 +331,10 @@ type FlightStats struct {
 	Transport int            `json:"transport"` // retained transport events
 	Parties   int            `json:"parties"`   // lanes a dump would hold
 	Latency   RoundQuantiles `json:"roundLatency"`
+	// CheckpointSaves and CheckpointResumes count durability actions seen
+	// by this process; both 0 when no checkpoint store is attached.
+	CheckpointSaves   uint64 `json:"checkpointSaves,omitempty"`
+	CheckpointResumes uint64 `json:"checkpointResumes,omitempty"`
 }
 
 // Quantiles returns the rolling round-latency quantiles.
@@ -346,15 +373,17 @@ func (f *FlightRecorder) Stats() FlightStats {
 		}
 	}
 	return FlightStats{
-		Enabled:   FlightEnabled(),
-		Party:     f.party,
-		Events:    f.seen,
-		Rounds:    f.rounds.n,
-		Spans:     f.spans.n,
-		Faults:    f.faults.n,
-		Transport: f.events.n,
-		Parties:   parties,
-		Latency:   f.quantilesLocked(),
+		Enabled:           FlightEnabled(),
+		Party:             f.party,
+		Events:            f.seen,
+		Rounds:            f.rounds.n,
+		Spans:             f.spans.n,
+		Faults:            f.faults.n,
+		Transport:         f.events.n,
+		Parties:           parties,
+		Latency:           f.quantilesLocked(),
+		CheckpointSaves:   f.ckptSaves,
+		CheckpointResumes: f.ckptResumes,
 	}
 }
 
@@ -411,6 +440,8 @@ func (f *FlightRecorder) Dump() *ClusterTrace {
 	q := f.Quantiles()
 	f.mu.Lock()
 	seen := f.seen
+	ckSaves, ckResumes := f.ckptSaves, f.ckptResumes
+	ckStep, ckRound := f.ckptStep, f.ckptRound
 	f.mu.Unlock()
 
 	pid := 0
@@ -432,6 +463,18 @@ func (f *FlightRecorder) Dump() *ClusterTrace {
 				"p99Ms":  q.P99Ms,
 				"events": seen,
 			}})
+	if ckSaves > 0 || ckResumes > 0 {
+		// The dump's durability marker: how far the checkpoint store got
+		// before whatever prompted this dump happened.
+		t.file.TraceEvents = append(t.file.TraceEvents,
+			chromeEvent{Name: "checkpoint", Cat: "checkpoint", Ph: "i", Pid: pid, Tid: 0, Ts: 0,
+				Args: map[string]any{
+					"saves":     ckSaves,
+					"resumes":   ckResumes,
+					"lastStep":  ckStep,
+					"lastRound": ckRound,
+				}})
+	}
 	return t
 }
 

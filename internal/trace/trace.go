@@ -237,3 +237,47 @@ func (m multi) Transport(e TransportEvent) {
 		}
 	}
 }
+
+// Checkpoint event kinds: a completed round persisted to the durable
+// store, or a round fast-forwarded from a snapshot instead of executed.
+const (
+	CheckpointSave   = "save"
+	CheckpointResume = "resume"
+)
+
+// CheckpointEvent reports one durability action at a round boundary (see
+// internal/checkpoint). Like transport events it is host-level and
+// out-of-band: saving or resuming never changes a deterministic counter.
+type CheckpointEvent struct {
+	Round int    // round index within its cluster
+	Name  string // round name
+	Phase Phase
+	Kind  string // CheckpointSave or CheckpointResume
+	Step  int    // job-global checkpoint step index
+	At    time.Time
+}
+
+// CheckpointObserver is the optional interface an Observer implements to
+// receive checkpoint instants. internal/mpc emits them through
+// EmitCheckpoint, so plain observers pay nothing.
+type CheckpointObserver interface {
+	Checkpoint(e CheckpointEvent)
+}
+
+// EmitCheckpoint forwards e to obs when it consumes checkpoint events
+// (directly or, for Multi results, via any member that does).
+func EmitCheckpoint(obs Observer, e CheckpointEvent) {
+	if co, ok := obs.(CheckpointObserver); ok {
+		co.Checkpoint(e)
+	}
+}
+
+// Checkpoint forwards a checkpoint instant to every member that
+// implements CheckpointObserver, mirroring Transport above.
+func (m multi) Checkpoint(e CheckpointEvent) {
+	for _, o := range m {
+		if co, ok := o.(CheckpointObserver); ok {
+			co.Checkpoint(e)
+		}
+	}
+}

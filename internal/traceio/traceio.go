@@ -2,39 +2,26 @@
 // surfacing. The exporters (e.g. trace.Chrome) implement io.WriterTo;
 // the commands that flush them must not swallow a failed write — a
 // truncated Chrome trace parses as an empty timeline in Perfetto, which
-// reads as "the run did nothing" rather than "the flush failed". Every
-// step (create, write, sync, close) is therefore checked, errors are
-// wrapped with the step and path, and a file left incomplete by a failure
-// is removed so no tool ever ingests a partial trace.
+// reads as "the run did nothing" rather than "the flush failed". Writes go
+// through internal/atomicio (temp file + fsync + rename), so a failure —
+// or a crash mid-write — never replaces or truncates an existing export,
+// and no tool ever ingests a partial trace.
 package traceio
 
 import (
 	"fmt"
 	"io"
-	"os"
+
+	"mpcdist/internal/atomicio"
 )
 
-// WriteFile writes src's export to path and syncs it to stable storage.
-// On any failure the partial file is removed and the returned error names
-// the failing step and the path; callers should exit nonzero on it.
+// WriteFile writes src's export to path atomically and syncs it to stable
+// storage. On any failure the previous file (if any) survives untouched
+// and the returned error names the failing step and the path; callers
+// should exit nonzero on it.
 func WriteFile(path string, src io.WriterTo) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("traceio: create %s: %w", path, err)
-	}
-	if _, err := src.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("traceio: write %s: %w", path, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("traceio: sync %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return fmt.Errorf("traceio: close %s: %w", path, err)
+	if err := atomicio.WriteTo(path, src, 0o644); err != nil {
+		return fmt.Errorf("traceio: %w", err)
 	}
 	return nil
 }

@@ -44,7 +44,7 @@ func TestWriteFileCreateError(t *testing.T) {
 	if err == nil {
 		t.Fatal("want error for unreachable path")
 	}
-	if !strings.Contains(err.Error(), "traceio: create") {
+	if !strings.Contains(err.Error(), "traceio:") || !strings.Contains(err.Error(), "create") {
 		t.Errorf("error %q does not name the failing step", err)
 	}
 }
@@ -52,10 +52,29 @@ func TestWriteFileCreateError(t *testing.T) {
 func TestWriteFileRemovesPartialOnWriteError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	err := WriteFile(path, failAfter{prefix: `{"traceEvents":[`})
-	if err == nil || !strings.Contains(err.Error(), "traceio: write") {
+	if err == nil || !strings.Contains(err.Error(), "write") {
 		t.Fatalf("want wrapped write error, got %v", err)
 	}
 	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
 		t.Errorf("partial file left behind: stat err = %v", statErr)
+	}
+}
+
+func TestWriteFilePreservesOldOnWriteError(t *testing.T) {
+	// The atomic write means a failed re-export keeps the previous trace
+	// intact instead of truncating it.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteFile(path, bytesTo("old trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, failAfter{prefix: "new"}); err == nil {
+		t.Fatal("want write error")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old trace" {
+		t.Errorf("previous trace not preserved: %q", got)
 	}
 }
